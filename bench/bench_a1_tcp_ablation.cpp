@@ -1,0 +1,109 @@
+// A1 — Ablation: which TCP-lite mechanisms carry the E6 result?
+//
+// DESIGN.md commits to ablating load-bearing design choices. The split-TCP
+// experiment's shape depends on loss recovery speed, so we ablate:
+//   * SACK-based recovery vs head-of-line-only recovery
+//   * initial window (IW10 vs IW2)
+// on a lossy download, reporting completion time and retransmission counts.
+#include "common.h"
+#include "netsim/router.h"
+#include "proto/host.h"
+
+using namespace pvn;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool sack;
+  std::uint32_t iw;
+};
+
+struct Outcome {
+  double ms = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_rtx = 0;
+};
+
+Outcome download(const Variant& v, double loss, std::uint64_t seed) {
+  Network net(seed);
+  auto& client = net.add_node<Host>("client", Ipv4Addr(10, 0, 0, 2));
+  auto& router = net.add_node<Router>("router");
+  auto& server = net.add_node<Host>("server", Ipv4Addr(93, 184, 216, 34));
+  LinkParams access;
+  access.rate = Rate::mbps(30);
+  access.latency = milliseconds(20);
+  access.loss = loss;
+  LinkParams core;
+  core.rate = Rate::mbps(200);
+  core.latency = milliseconds(20);
+  net.connect(client, router, access);
+  net.connect(router, server, core);
+  router.add_route(*Prefix::parse("10.0.0.0/8"), 0);
+  router.add_route(*Prefix::parse("0.0.0.0/0"), 1);
+
+  TcpConfig cfg;
+  cfg.enable_sack = v.sack;
+  cfg.initial_cwnd_segments = v.iw;
+
+  // 400 KB transfer server -> client.
+  TcpConnection* sender = nullptr;
+  server.tcp_listen(80, [&](TcpConnection& conn) {
+    sender = &conn;
+    conn.on_connected = [&conn] {
+      Bytes data(400 * 1000);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::uint8_t>(i);
+      }
+      conn.send(data);
+      conn.close();
+    };
+  }, cfg);
+
+  std::size_t received = 0;
+  SimTime done_at = 0;
+  TcpConnection& conn = client.tcp_connect(server.addr(), 80, cfg);
+  conn.on_data = [&](const Bytes& data) {
+    received += data.size();
+    if (received >= 400 * 1000) done_at = net.sim().now();
+  };
+  conn.on_eof = [&conn] { conn.close(); };
+  net.sim().run_until(seconds(600));
+
+  Outcome out;
+  out.ms = done_at > 0 ? to_milliseconds(done_at) : -1;
+  if (sender != nullptr) {
+    out.timeouts = sender->stats().timeouts;
+    out.fast_rtx = sender->stats().fast_retransmits;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("A1 TCP mechanism ablation",
+               "SACK recovery and IW10 are the mechanisms behind the E6 "
+               "shapes; disabling them degrades lossy-path completion times");
+  const Variant variants[] = {
+      {"SACK + IW10", true, 10},
+      {"SACK + IW2", true, 2},
+      {"no SACK + IW10", false, 10},
+      {"no SACK + IW2", false, 2},
+  };
+  bench::header({"variant", "loss", "download (ms)", "timeouts", "fast rtx"});
+  for (const double loss : {0.0, 0.02, 0.05}) {
+    for (const Variant& v : variants) {
+      double ms = 0;
+      std::uint64_t to = 0, frtx = 0;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const Outcome o = download(v, loss, seed);
+        ms += o.ms / 3.0;
+        to += o.timeouts;
+        frtx += o.fast_rtx;
+      }
+      bench::row(v.name, loss, ms, to, frtx);
+    }
+  }
+  return 0;
+}

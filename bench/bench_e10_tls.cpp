@@ -1,0 +1,112 @@
+// E10 — HTTPS/TLS enhancements (paper §4, citing [23]).
+//
+// Claim: "many apps and browsers do not properly check certificate validity,
+// if at all — opening users to covert attacks from third parties that MITM
+// TLS connections"; a PVN middlebox "can perform certificate validity checks
+// beyond those provided by mobile OSes and apps, and reject connections."
+//
+// A population of clients connects to (a) the honest server and (b) a MITM
+// that presents a forged chain. Client stacks: strict app, broken app [23],
+// broken app behind a PVN TlsValidator. We report interception outcomes.
+#include "common.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+namespace {
+
+struct TlsOutcome {
+  bool established = false;
+  bool intercepted = false;  // established against a forged chain
+};
+
+TlsOutcome connect_once(Testbed& tb, bool to_mitm, TlsClientPolicy policy,
+                        bool with_pvn) {
+  if (with_pvn) {
+    Pvnc pvnc;
+    pvnc.name = "alice-phone";
+    pvnc.chain.push_back(PvncModule{"tls-validator", {{"mode", "block"}}});
+    const DeployOutcome out = tb.deploy(pvnc);
+    if (!out.ok) std::printf("deploy failed: %s\n", out.failure.c_str());
+  }
+
+  // Honest server on web; MITM on malicious with a rogue chain for the same
+  // name.
+  const Certificate honest_leaf = tb.root_ca->issue(
+      "web.example", tb.web_tls_key->public_key(), 0, seconds(100000));
+  std::unique_ptr<TlsServer> honest_tls;
+  tb.web->tcp_listen(443, [&](TcpConnection& conn) {
+    honest_tls = std::make_unique<TlsServer>(
+        conn, CertChain{honest_leaf, tb.root_ca->self_certificate()},
+        *tb.web_tls_key);
+  });
+
+  CertificateAuthority rogue("RogueCA", 666);
+  KeyPair mitm_key(667);
+  const Certificate forged =
+      rogue.issue("web.example", mitm_key.public_key(), 0, seconds(100000));
+  std::unique_ptr<TlsServer> mitm_tls;
+  tb.malicious->tcp_listen(443, [&](TcpConnection& conn) {
+    mitm_tls = std::make_unique<TlsServer>(
+        conn, CertChain{forged, rogue.self_certificate()}, mitm_key);
+  });
+
+  const Ipv4Addr target = to_mitm ? tb.addrs.malicious : tb.addrs.web;
+  TcpConnection& conn = tb.client->tcp_connect(target, 443);
+  TlsClient client(conn, "web.example", &tb.trust, policy, 99);
+  tb.net.sim().run_until(tb.net.sim().now() + seconds(30));
+
+  TlsOutcome out;
+  out.established = client.info().established;
+  out.intercepted = to_mitm && client.info().established;
+  return out;
+}
+
+const char* verdict(const TlsOutcome& honest, const TlsOutcome& mitm) {
+  if (!honest.established) return "broken (honest blocked!)";
+  return mitm.intercepted ? "INTERCEPTED" : "protected";
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E10 TLS interception vs client stacks",
+               "apps that skip validation get MITM'd; the PVN TlsValidator "
+               "recovers protection without touching the app [23]");
+  bench::header({"client stack", "honest conn", "MITM conn", "verdict"});
+
+  {
+    Testbed tb;
+    const TlsOutcome honest = connect_once(tb, false, TlsClientPolicy::kStrict,
+                                           false);
+    Testbed tb2;
+    const TlsOutcome mitm = connect_once(tb2, true, TlsClientPolicy::kStrict,
+                                         false);
+    bench::row("strict app", honest.established ? "ok" : "blocked",
+               mitm.established ? "established" : "blocked",
+               verdict(honest, mitm));
+  }
+  {
+    Testbed tb;
+    const TlsOutcome honest = connect_once(tb, false, TlsClientPolicy::kNone,
+                                           false);
+    Testbed tb2;
+    const TlsOutcome mitm = connect_once(tb2, true, TlsClientPolicy::kNone,
+                                         false);
+    bench::row("broken app [23]", honest.established ? "ok" : "blocked",
+               mitm.established ? "established" : "blocked",
+               verdict(honest, mitm));
+  }
+  {
+    Testbed tb;
+    const TlsOutcome honest = connect_once(tb, false, TlsClientPolicy::kNone,
+                                           true);
+    Testbed tb2;
+    const TlsOutcome mitm = connect_once(tb2, true, TlsClientPolicy::kNone,
+                                         true);
+    bench::row("broken app + PVN", honest.established ? "ok" : "blocked",
+               mitm.established ? "established" : "blocked",
+               verdict(honest, mitm));
+  }
+  return 0;
+}

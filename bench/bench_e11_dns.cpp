@@ -1,0 +1,109 @@
+// E11 — DNS validation (paper §4).
+//
+// Claim: "Even if the ISP does not support DNSSEC, a PVN DNSSEC module can
+// provide secure DNS resolution on behalf of the user. Further, when
+// accessing name entries that are not secured, the PVN can use a collection
+// of open resolvers to ensure clients are not maliciously sent to invalid
+// addresses."
+//
+// Attack: the access network's resolver forges bank.example. Defences:
+// none, PVN dns-validator (DNSSEC-lite + pins), and client-side 3-resolver
+// quorum. We report where the client ends up.
+#include "common.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+namespace {
+
+const char* where(const DnsResult& r, Ipv4Addr truth, Ipv4Addr forged) {
+  if (r.status == DnsResult::Status::kTimeout) return "blocked (no answer)";
+  if (r.status == DnsResult::Status::kBogus) return "blocked (bogus sig)";
+  if (r.status != DnsResult::Status::kOk) return "blocked";
+  if (r.addr == truth) return "TRUE address";
+  if (r.addr == forged) return "POISONED";
+  return "other";
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E11 DNS forgery defences",
+               "a forging resolver poisons unprotected clients; the PVN DNS "
+               "module (signatures + pins) and resolver quorum both stop it");
+  const Ipv4Addr truth(93, 184, 216, 34);
+  const Ipv4Addr forged_addr(66, 6, 6, 6);
+  bench::header({"defence", "signed name", "unsigned name"});
+
+  // --- no defence: forged resolver wins on both ------------------------------
+  {
+    Testbed tb;
+    tb.dns_server->add_record("bank.example", truth);  // signed (zone key)
+    tb.dns_server->forge("bank.example", forged_addr);
+    tb.dns_server->forge("shop.example", forged_addr);
+
+    StubResolver stub(*tb.client, {tb.addrs.dns});  // no validation
+    DnsResult signed_r, unsigned_r;
+    stub.resolve("bank.example", [&](const DnsResult& r) { signed_r = r; });
+    tb.net.sim().run();
+    stub.resolve("shop.example", [&](const DnsResult& r) { unsigned_r = r; });
+    tb.net.sim().run();
+    bench::row("none", where(signed_r, truth, forged_addr),
+               where(unsigned_r, truth, forged_addr));
+  }
+
+  // --- PVN dns-validator: drops forged answers in-network --------------------
+  {
+    Testbed tb;
+    tb.dns_server->add_record("bank.example", truth);
+    tb.dns_server->forge("bank.example", forged_addr);
+    // Unsigned name pinned via the PVN store environment.
+    // (web.example is pinned to the true web address in the testbed.)
+    tb.dns_server->forge("web.example", forged_addr);
+
+    Pvnc pvnc;
+    pvnc.name = "alice-phone";
+    pvnc.chain.push_back(PvncModule{"dns-validator", {{"mode", "block"}}});
+    const DeployOutcome out = tb.deploy(pvnc);
+    if (!out.ok) std::printf("deploy failed: %s\n", out.failure.c_str());
+
+    StubResolver stub(*tb.client, {tb.addrs.dns});
+    DnsResult signed_r, unsigned_r;
+    stub.resolve("bank.example", [&](const DnsResult& r) { signed_r = r; },
+                 1, seconds(1));
+    tb.net.sim().run_until(tb.net.sim().now() + seconds(10));
+    stub.resolve("web.example", [&](const DnsResult& r) { unsigned_r = r; },
+                 1, seconds(1));
+    tb.net.sim().run_until(tb.net.sim().now() + seconds(10));
+    bench::row("PVN dns-validator", where(signed_r, truth, forged_addr),
+               where(unsigned_r, truth, forged_addr));
+  }
+
+  // --- client-side quorum over 3 resolvers -----------------------------------
+  {
+    Testbed tb;
+    // Two extra honest open resolvers reachable via the WAN.
+    auto& open1 = tb.net.add_node<Host>("open1", Ipv4Addr(9, 9, 9, 9));
+    auto& open2 = tb.net.add_node<Host>("open2", Ipv4Addr(1, 1, 1, 1));
+    tb.net.connect(*tb.wan, open1, LinkParams{});
+    tb.net.connect(*tb.wan, open2, LinkParams{});
+    tb.wan->add_route(Prefix{open1.addr(), 32}, 7);
+    tb.wan->add_route(Prefix{open2.addr(), 32}, 8);
+    DnsServer open_dns1(open1);
+    DnsServer open_dns2(open2);
+    open_dns1.add_record("shop.example", truth);
+    open_dns2.add_record("shop.example", truth);
+    tb.dns_server->add_record("shop.example", truth);
+    tb.dns_server->forge("shop.example", forged_addr);
+
+    StubResolver stub(*tb.client,
+                      {tb.addrs.dns, open1.addr(), open2.addr()});
+    DnsResult quorum_r;
+    stub.resolve("shop.example", [&](const DnsResult& r) { quorum_r = r; },
+                 /*quorum=*/3);
+    tb.net.sim().run();
+    bench::row("3-resolver quorum", "n/a",
+               where(quorum_r, truth, forged_addr));
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E14 — Automated negotiation of access policies (paper §3.3).
+//
+// Claim: "many network providers may support partial PVN configuration ...
+// a set of soft and hard constraints can inform the decision of whether a
+// user is willing to connect to a given access network, and under what
+// conditions."
+//
+// We sweep the provider spectrum (fraction of the requested modules it
+// allows, and its price multiplier) against a fixed user constraint set and
+// report the negotiated outcome, achieved utility, and price paid.
+#include "common.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+int main() {
+  bench::title("E14 negotiation outcomes across provider policy spectrum",
+               "hard/soft constraints drive accept / subset / walk-away");
+
+  const std::vector<std::string> all = {"tls-validator", "dns-validator",
+                                        "pii-detector", "tracker-blocker"};
+  const struct {
+    const char* name;
+    std::set<std::string> allowed;
+  } providers[] = {
+      {"full support", {}},
+      {"privacy only", {"pii-detector", "tracker-blocker"}},
+      {"security only", {"tls-validator", "dns-validator"}},
+      {"single module", {"pii-detector"}},
+      {"nothing", {"classifier"}},  // offers none of the requested four
+  };
+
+  // User: PII protection is a hard requirement; utilities favour security.
+  ClientConfig ccfg;
+  ccfg.constraints.required_modules = {"pii-detector"};
+  ccfg.constraints.module_utility = {{"tls-validator", 3.0},
+                                     {"dns-validator", 2.0},
+                                     {"pii-detector", 4.0},
+                                     {"tracker-blocker", 1.0}};
+  ccfg.constraints.max_price = 10.0;
+
+  bench::header({"provider", "price mult", "outcome", "modules", "utility",
+                 "paid"});
+  for (const auto& provider : providers) {
+    for (const double mult : {1.0, 3.0, 8.0}) {
+      TestbedConfig cfg;
+      cfg.allowed_modules = provider.allowed;
+      cfg.price_multiplier = mult;
+      Testbed tb(cfg);
+      const DeployOutcome out = tb.deploy(tb.standard_pvnc(), ccfg);
+      bench::row(provider.name, mult,
+                 out.ok ? "deployed" : out.failure,
+                 static_cast<int>(out.deployed_modules.size()), out.utility,
+                 out.paid);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E15 — Dataplane viability microbenchmarks (google-benchmark).
+//
+// Claim (paper §3.3): PVN overhead must be "negligible relative to non-PVN
+// connections" even with per-subscriber rules and chains. We measure the
+// host-CPU cost of the mechanisms the per-packet path exercises: flow-table
+// lookup vs table size, middlebox chain traversal vs chain length, meter
+// conformance, and the codec round-trips on the wire path.
+#include <benchmark/benchmark.h>
+
+#include "mbox/host.h"
+#include "mbox/inline_modules.h"
+#include "sdn/flow_table.h"
+#include "tunnel/esp.h"
+
+using namespace pvn;
+
+namespace {
+
+Packet make_udp_packet(Network& net, std::uint32_t salt = 0) {
+  UdpHeader hdr;
+  hdr.src_port = static_cast<Port>(40000 + salt % 1000);
+  hdr.dst_port = 80;
+  return net.make_packet(Ipv4Addr(10, 0, 0, 2 + (salt % 100)),
+                         Ipv4Addr(93, 184, 216, 34), IpProto::kUdp,
+                         serialize_udp(hdr, Bytes(1200, 0x5A)));
+}
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  Network net;
+  FlowTable table;
+  for (int i = 0; i < rules; ++i) {
+    FlowRule rule;
+    rule.priority = 100;
+    rule.match.dst = Prefix{Ipv4Addr(172, 16, static_cast<uint8_t>(i / 256),
+                                     static_cast<uint8_t>(i % 256)),
+                            32};
+    rule.actions.push_back(ActOutput{1});
+    table.add(rule);
+  }
+  FlowRule catchall;  // what subscriber traffic actually hits
+  catchall.priority = 1;
+  catchall.actions.push_back(ActOutput{1});
+  table.add(catchall);
+
+  const Packet pkt = make_udp_packet(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(pkt, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ChainTraversal(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  Simulator sim;
+  MboxHost host(sim);
+  Chain& chain = host.create_chain("bench");
+  std::vector<std::unique_ptr<Middlebox>> modules;
+  for (int i = 0; i < len; ++i) {
+    modules.push_back(std::make_unique<PiiDetector>(
+        std::vector<std::string>{"imei=", "password=", "lat="},
+        PiiAction::kMonitor));
+    chain.append(modules.back().get());
+  }
+  Network net;
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    SimDuration delay = 0;
+    Packet pkt = make_udp_packet(net, salt++);
+    benchmark::DoNotOptimize(chain.process(std::move(pkt), 0, delay));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChainTraversal)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MeterConformance(benchmark::State& state) {
+  Meter meter(Rate::mbps(100), 1 << 20);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 100;  // 100 ns between packets
+    benchmark::DoNotOptimize(meter.conforms(1200, now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeterConformance);
+
+void BM_EspEncapDecap(benchmark::State& state) {
+  Network net;
+  const Bytes key = to_bytes("bench-key");
+  const Packet inner = make_udp_packet(net);
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    Packet outer = esp_encap(inner, Ipv4Addr(10, 0, 0, 1),
+                             Ipv4Addr(203, 0, 113, 5), key, 1, ++seq);
+    benchmark::DoNotOptimize(esp_decap(outer, key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EspEncapDecap);
+
+void BM_TcpHeaderCodec(benchmark::State& state) {
+  TcpHeader hdr;
+  hdr.src_port = 443;
+  hdr.dst_port = 51234;
+  hdr.seq = 123456;
+  hdr.ack = 654321;
+  hdr.flags = kTcpAck;
+  hdr.sacks = {{1000, 2000}, {3000, 4000}};
+  for (auto _ : state) {
+    ByteWriter w;
+    hdr.encode(w);
+    ByteReader r(w.bytes());
+    benchmark::DoNotOptimize(TcpHeader::decode(r));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcpHeaderCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

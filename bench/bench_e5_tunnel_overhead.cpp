@@ -1,0 +1,103 @@
+// E5 — Why not the cloud / home? (paper §3.2).
+//
+// Claim: deploying PVN functionality by tunneling to a cloud or home network
+// adds "10s of ms for well connected networks, but potentially 100s of ms
+// for poorly connected networks", while in-network PVNs avoid the detour.
+//
+// We fetch a 100 KB page under three deployments (in-network middlebox,
+// tunnel to a nearby cloud, tunnel to a distant home network) across three
+// access-network qualities, and report completion time + added latency vs
+// the no-PVN baseline.
+#include "common.h"
+#include "netsim/router.h"
+#include "proto/host.h"
+#include "tunnel/vpn.h"
+#include "proto/http.h"
+#include "workload/generators.h"
+
+using namespace pvn;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  SimDuration detour_latency;  // one-way extra to the tunnel gateway
+  bool tunneled;
+};
+
+struct AccessQuality {
+  const char* name;
+  SimDuration latency;
+  Rate rate;
+};
+
+// client - ingress - wan - {gateway(detour), server}
+SimDuration fetch_time(const AccessQuality& access, const Scenario& scenario) {
+  Network net;
+  auto& client = net.add_node<Host>("client", Ipv4Addr(10, 0, 0, 2));
+  auto& ingress = net.add_node<TunnelIngress>(
+      "ingress", Ipv4Addr(10, 0, 0, 1), Ipv4Addr(203, 0, 113, 5),
+      to_bytes("key"));
+  auto& wan = net.add_node<Router>("wan");
+  auto& gateway = net.add_node<VpnGateway>("gw", Ipv4Addr(203, 0, 113, 5),
+                                           to_bytes("key"));
+  auto& server = net.add_node<Host>("server", Ipv4Addr(93, 184, 216, 34));
+  LinkParams access_link;
+  access_link.latency = access.latency;
+  access_link.rate = access.rate;
+  LinkParams core;
+  core.rate = Rate::mbps(1000);
+  core.latency = milliseconds(10);
+  LinkParams detour = core;
+  detour.latency = scenario.detour_latency;
+  net.connect(client, ingress, access_link);
+  net.connect(ingress, wan, core);
+  net.connect(wan, gateway, detour);
+  net.connect(wan, server, core);
+  wan.add_route(*Prefix::parse("10.0.0.0/24"), 0);
+  wan.add_route(*Prefix::parse("203.0.113.5"), 1);
+  wan.add_route(*Prefix::parse("0.0.0.0/0"), 2);
+  if (!scenario.tunneled) {
+    ingress.set_selector([](const Packet&) { return false; });
+  }
+
+  HttpServer http_server(server);
+  HttpClient http(client);
+  SimDuration total = 0;
+  http.fetch(server.addr(), 80, "/bytes/20000",
+             [&](const HttpResponse&, const FetchTiming& t) {
+               total = t.total();
+             });
+  net.sim().run();
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E5 tunnel overhead vs in-network PVN",
+               "tunneling adds 10s of ms (well-connected) to 100s of ms "
+               "(poorly connected); in-network PVNs avoid it");
+  const AccessQuality qualities[] = {
+      {"good-wifi (5ms)", milliseconds(5), Rate::mbps(80)},
+      {"cellular (25ms)", milliseconds(25), Rate::mbps(20)},
+      {"poor (80ms)", milliseconds(80), Rate::mbps(5)},
+  };
+  const Scenario scenarios[] = {
+      {"in-network PVN", 0, false},
+      {"cloud tunnel (+20ms)", milliseconds(20), true},
+      {"home tunnel (+60ms)", milliseconds(60), true},
+      {"distant tunnel (+150ms)", milliseconds(150), true},
+  };
+
+  bench::header({"access", "deployment", "fetch (ms)", "added vs in-net (ms)"});
+  for (const AccessQuality& q : qualities) {
+    const SimDuration base = fetch_time(q, scenarios[0]);
+    for (const Scenario& s : scenarios) {
+      const SimDuration t = fetch_time(q, s);
+      bench::row(q.name, s.name, to_milliseconds(t),
+                 to_milliseconds(t - base));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E6 — Split-TCP proxy benefit (paper §2.2, citing [11, 17, 44]).
+//
+// Claim: "splitting TCP connections should offer better client-perceived
+// performance than direct connections if the proxy is on the same path ...
+// [but] the impact of such proxies is mixed: devices with better link
+// quality benefited most from proxying, and the rest could receive worse
+// performance due to proxying overheads."
+//
+// We download 500 KB directly vs through a split-TCP proxy placed at the
+// access/wide-area boundary, sweeping wide-area RTT and last-mile loss, and
+// report both completion times and the speedup factor (>1 = proxy wins).
+#include "common.h"
+#include "mbox/proxies.h"
+#include "netsim/router.h"
+#include "proto/host.h"
+
+using namespace pvn;
+
+namespace {
+
+struct PathParams {
+  SimDuration lastmile_latency;
+  double lastmile_loss;
+  SimDuration wan_latency;
+};
+
+// client -(lastmile)- edge router -(wan)- server; proxy hangs off the edge.
+SimDuration download(const PathParams& p, bool via_proxy,
+                     std::uint64_t seed) {
+  Network net(seed);
+  auto& client = net.add_node<Host>("client", Ipv4Addr(10, 0, 0, 2));
+  auto& edge = net.add_node<Router>("edge");
+  auto& server = net.add_node<Host>("server", Ipv4Addr(93, 184, 216, 34));
+  auto& proxy = net.add_node<SplitTcpProxy>("proxy", Ipv4Addr(10, 0, 0, 10),
+                                            server.addr(), Port{80},
+                                            Port{8080});
+  LinkParams lastmile;
+  lastmile.rate = Rate::mbps(30);
+  lastmile.latency = p.lastmile_latency;
+  lastmile.loss = p.lastmile_loss;
+  LinkParams wan;
+  wan.rate = Rate::mbps(200);
+  wan.latency = p.wan_latency;
+  LinkParams proxy_link;
+  proxy_link.rate = Rate::mbps(1000);
+  proxy_link.latency = microseconds(200);
+
+  net.connect(client, edge, lastmile);   // edge p0
+  net.connect(edge, server, wan);        // edge p1
+  net.connect(edge, proxy, proxy_link);  // edge p2
+  edge.add_route(*Prefix::parse("10.0.0.2"), 0);
+  edge.add_route(*Prefix::parse("10.0.0.10"), 2);
+  edge.add_route(*Prefix::parse("0.0.0.0/0"), 1);
+
+  HttpServer http_server(server);
+  HttpClient http(client);
+  SimDuration total = 0;
+  const Ipv4Addr target = via_proxy ? proxy.addr() : server.addr();
+  const Port port = via_proxy ? 8080 : 80;
+  http.fetch(target, port, "/bytes/500000",
+             [&](const HttpResponse&, const FetchTiming& t) {
+               if (t.ok) total = t.total();
+             });
+  net.sim().run_until(seconds(600));
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E6 split-TCP proxy vs direct",
+               "split connections win when RTT/loss dominate; overheads can "
+               "make them a wash (or worse) on clean short paths");
+  bench::header({"wan RTT (ms)", "lastmile loss", "direct (ms)", "proxy (ms)",
+                 "speedup (x)"});
+  const SimDuration wans[] = {milliseconds(10), milliseconds(40),
+                              milliseconds(100), milliseconds(200)};
+  const double losses[] = {0.0, 0.01, 0.03};
+
+  for (const SimDuration wan : wans) {
+    for (const double loss : losses) {
+      PathParams p;
+      p.lastmile_latency = milliseconds(8);
+      p.lastmile_loss = loss;
+      p.wan_latency = wan;
+      // Average 3 seeds to tame loss randomness.
+      double direct_ms = 0, proxy_ms = 0;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        direct_ms += to_milliseconds(download(p, false, seed)) / 3.0;
+        proxy_ms += to_milliseconds(download(p, true, seed)) / 3.0;
+      }
+      bench::row(to_milliseconds(2 * wan), loss, direct_ms, proxy_ms,
+                 proxy_ms > 0 ? direct_ms / proxy_ms : 0.0);
+    }
+  }
+  return 0;
+}

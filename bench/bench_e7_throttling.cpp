@@ -1,0 +1,131 @@
+// E7 — Binge On-style throttling and per-flow opt-out (paper §2.2).
+//
+// Claim: T-Mobile's Binge On "zero-rates all participating video provider's
+// traffic, but also throttles it to 1.5 Mbps (often leading to sub-HD
+// quality)"; users "cannot decide to stream at high resolution ... there is
+// one policy that applies to all of their video traffic." PVNs restore
+// per-flow choice, and the auditor can detect the shaping.
+//
+// Scenarios: (a) no ISP policy, (b) ISP throttles video to 1.5 Mbps,
+// (c) same ISP policy, but the user's PVN carries a higher-priority rate
+// policy of 8 Mbps for their own video flows (the opt-out).
+#include "audit/measurements.h"
+#include "common.h"
+#include "mbox/inline_modules.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+namespace {
+
+void install_isp_throttle(Testbed& tb, Chain& isp_chain,
+                          Classifier& classifier) {
+  isp_chain.append(&classifier);
+  tb.access_sw->register_processor("isp-dpi", &isp_chain);
+  tb.access_sw->add_meter("isp-video", Rate::kbps(1500), 40000);
+
+  // ISP DPI: classify all traffic, then meter the video class. Runs at
+  // priority 40 — *below* any PVN rules (priority >= 100).
+  FlowRule classify_in;
+  classify_in.priority = 40;
+  classify_in.match.dst = Prefix{tb.addrs.client, 32};
+  classify_in.cookie = "isp-policy";
+  classify_in.actions.push_back(ActMbox{"isp-dpi"});
+  classify_in.actions.push_back(ActGotoTable{1});
+  tb.access_sw->table(0).add(classify_in);
+
+  FlowRule meter_video;
+  meter_video.priority = 50;
+  meter_video.match.tos = 0x20;
+  meter_video.match.dst = Prefix{tb.addrs.client, 32};
+  meter_video.cookie = "isp-policy";
+  meter_video.actions.push_back(ActMeter{"isp-video"});
+  meter_video.actions.push_back(ActOutput{0});
+  tb.access_sw->table(1).add(meter_video);
+
+  FlowRule rest;
+  rest.priority = 5;
+  rest.match.dst = Prefix{tb.addrs.client, 32};
+  rest.cookie = "isp-policy";
+  rest.actions.push_back(ActOutput{0});
+  tb.access_sw->table(1).add(rest);
+}
+
+struct Result {
+  double mbps = 0;
+  int rebuffers = 0;
+};
+
+Result stream(Testbed& tb) {
+  VideoStreamer streamer(*tb.client);
+  Result result;
+  bool done = false;
+  // 12 segments of 250 KB covering 1 s each: needs 2 Mbps to keep up.
+  streamer.run(tb.addrs.video, 80, 12, 250 * 1000, seconds(1),
+               [&](const VideoStats& s) {
+                 result.mbps = s.mean_segment_mbps;
+                 result.rebuffers = s.rebuffers;
+                 done = true;
+               });
+  tb.net.sim().run_until(tb.net.sim().now() + seconds(300));
+  (void)done;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E7 video throttling + PVN opt-out",
+               "BingeOn throttles video to 1.5 Mbps for everyone; PVNs let "
+               "each user choose, and audits detect the shaping [18]");
+  bench::header({"scenario", "video Mbps", "rebuffers", "audit: shaped?"});
+
+  // (a) neutral ISP.
+  {
+    Testbed tb;
+    const Result r = stream(tb);
+    bench::row("no ISP policy", r.mbps, r.rebuffers, "no");
+  }
+  // (b) ISP throttles video; user has no PVN.
+  {
+    Testbed tb;
+    Chain isp_chain("isp-dpi", 0);
+    Classifier classifier({{"Content-Type: video", 0x20}});
+    install_isp_throttle(tb, isp_chain, classifier);
+    const Result r = stream(tb);
+    // Audit: marked vs control rate probes, run DOWNSTREAM (the throttle
+    // polices traffic toward the client) from a cooperating server.
+    RateProbe control(*tb.web, *tb.client, 9001);
+    RateProbe marked(*tb.web, *tb.client, 9002);
+    double c = 0, m = 0;
+    control.run(Rate::mbps(10), seconds(2), 0, "application/octet",
+                [&](const RateProbe::Result& pr) { c = pr.achieved_mbps; });
+    tb.net.sim().run();
+    marked.run(Rate::mbps(10), seconds(2), 0x20, "video/mp4",
+               [&](const RateProbe::Result& pr) { m = pr.achieved_mbps; });
+    tb.net.sim().run();
+    const bool shaped = judge_differentiation(c, m).differentiated;
+    bench::row("ISP throttle 1.5Mbps", r.mbps, r.rebuffers,
+               shaped ? "yes" : "no");
+  }
+  // (c) ISP throttles, but the user's PVN opts their flows out.
+  {
+    Testbed tb;
+    Chain isp_chain("isp-dpi", 0);
+    Classifier classifier({{"Content-Type: video", 0x20}});
+    install_isp_throttle(tb, isp_chain, classifier);
+
+    Pvnc pvnc;
+    pvnc.name = "alice-phone";
+    PvncPolicy hd;
+    hd.kind = PvncPolicy::Kind::kRateLimit;  // the user's own ceiling
+    hd.rate = Rate::mbps(8);
+    hd.priority = 200;  // outranks the ISP default policy
+    pvnc.policies.push_back(hd);
+    const DeployOutcome out = tb.deploy(pvnc);
+    if (!out.ok) std::printf("deploy failed: %s\n", out.failure.c_str());
+    const Result r = stream(tb);
+    bench::row("PVN opt-out @8Mbps", r.mbps, r.rebuffers, "user-exempt");
+  }
+  return 0;
+}

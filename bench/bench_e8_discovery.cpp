@@ -1,0 +1,93 @@
+// E8 — Discovery and Deployment Protocol (paper §3.1).
+//
+// The paper specifies the DM -> Offer -> DeployRequest -> Ack/Nack exchange
+// with sequence numbers, subset offers, prices, and expiry. This bench runs
+// every protocol outcome and reports message counts and handshake latency,
+// then sweeps the offer-collection window (the knob trading discovery
+// latency against hearing more offers in an anycast zone).
+#include "common.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+namespace {
+
+void outcome_row(const char* scenario, const DeployOutcome& out) {
+  bench::row(scenario, out.ok ? "deployed" : out.failure,
+             out.messages_sent + out.messages_received,
+             to_milliseconds(out.elapsed));
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E8 discovery/deployment protocol outcomes",
+               "devices negotiate full, partial, or no deployment with "
+               "bounded message counts and latency (§3.1)");
+  bench::header({"scenario", "outcome", "messages", "elapsed (ms)"});
+
+  // Full offer accepted.
+  {
+    Testbed tb;
+    outcome_row("full offer", tb.deploy(tb.standard_pvnc()));
+  }
+  // Partial offer -> subset deployment.
+  {
+    TestbedConfig cfg;
+    cfg.allowed_modules = {"pii-detector", "tracker-blocker"};
+    Testbed tb(cfg);
+    outcome_row("partial offer (subset)", tb.deploy(tb.standard_pvnc()));
+  }
+  // Hard constraint unmet -> client walks away.
+  {
+    TestbedConfig cfg;
+    cfg.allowed_modules = {"pii-detector"};
+    Testbed tb(cfg);
+    ClientConfig ccfg;
+    ccfg.constraints.required_modules = {"tls-validator"};
+    outcome_row("hard constraint unmet", tb.deploy(tb.standard_pvnc(), ccfg));
+  }
+  // Too expensive.
+  {
+    TestbedConfig cfg;
+    cfg.price_multiplier = 50.0;
+    Testbed tb(cfg);
+    ClientConfig ccfg;
+    ccfg.constraints.max_price = 1.0;
+    outcome_row("over budget", tb.deploy(tb.standard_pvnc(), ccfg));
+  }
+  // No PVN support at all (silent network).
+  {
+    Testbed tb;
+    tb.server.reset();  // the network stops answering
+    outcome_row("no PVN support", tb.deploy(tb.standard_pvnc()));
+  }
+  // NACK: middlebox memory exhausted.
+  {
+    Testbed tb;
+    MboxHostConfig mcfg;
+    mcfg.memory_budget = 6 * kMiB;  // room for 1 instance, chain needs 4
+    auto tiny_host = std::make_unique<MboxHost>(tb.net.sim(), mcfg);
+    ServerConfig scfg;
+    scfg.switch_name = Testbed::kSwitchName;
+    tb.server.reset();  // retire the default server first (unbinds the port)
+    auto server = std::make_unique<DeploymentServer>(
+        *tb.control, *tb.store, *tiny_host, *tb.controller, *tb.ledger, scfg);
+    outcome_row("NACK (out of memory)", tb.deploy(tb.standard_pvnc()));
+  }
+
+  // Offer-wait sweep: discovery latency is dominated by how long the device
+  // listens for offers.
+  std::printf("\n");
+  bench::header({"offer wait (ms)", "outcome", "messages", "elapsed (ms)"});
+  for (const int wait_ms : {50, 100, 250, 500, 1000}) {
+    Testbed tb;
+    ClientConfig ccfg;
+    ccfg.offer_wait = milliseconds(wait_ms);
+    const DeployOutcome out = tb.deploy(tb.standard_pvnc(), ccfg);
+    bench::row(wait_ms, out.ok ? "deployed" : out.failure,
+               out.messages_sent + out.messages_received,
+               to_milliseconds(out.elapsed));
+  }
+  return 0;
+}

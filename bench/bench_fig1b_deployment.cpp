@@ -1,0 +1,97 @@
+// Fig. 1b — Deployment: a PVN mixes in-network devices (solid boxes) with
+// software middleboxes (dashed boxes) instantiated per-user.
+//
+// We measure what deployment costs as the software chain grows: handshake
+// latency (instantiations run in parallel, so the 30 ms shows up once, not
+// per module), rules installed, memory, and price — and compare reusing a
+// pre-existing "physical" middlebox (no instantiation, no memory) for one
+// function.
+#include "common.h"
+#include "mbox/inline_modules.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+int main() {
+  bench::title("Fig1b deployment cost vs chain composition",
+               "software middleboxes instantiate in ~30 ms (parallel) and "
+               "6 MB each; reusing existing in-network functions is free");
+
+  const std::vector<std::vector<std::string>> chains = {
+      {},
+      {"pii-detector"},
+      {"pii-detector", "tracker-blocker"},
+      {"pii-detector", "tracker-blocker", "dns-validator"},
+      {"pii-detector", "tracker-blocker", "dns-validator", "tls-validator"},
+      {"pii-detector", "tracker-blocker", "dns-validator", "tls-validator",
+       "malware-detector", "classifier"},
+  };
+
+  bench::header({"software modules", "deploy (ms)", "rules", "memory (MB)",
+                 "price"});
+  for (const auto& modules : chains) {
+    Testbed tb;
+    Pvnc pvnc;
+    pvnc.name = "alice-phone";
+    for (const std::string& m : modules) {
+      pvnc.chain.push_back(PvncModule{m, {}});
+    }
+    const DeployOutcome out = tb.deploy(pvnc);
+    std::uint64_t rules = 0;
+    for (int t = 0; t < tb.access_sw->table_count(); ++t) {
+      for (const FlowRule& r : tb.access_sw->table(t).rules()) {
+        if (r.cookie != "infra") ++rules;
+      }
+    }
+    bench::row(static_cast<int>(modules.size()),
+               out.ok ? to_milliseconds(out.elapsed) : -1.0, rules,
+               static_cast<double>(tb.mbox_host->memory_in_use()) /
+                   (1024 * 1024),
+               out.paid);
+  }
+
+  // Physical-middlebox reuse: the provider already runs a tracker-blocking
+  // box, so it offers that module at no instantiation cost. Model: the
+  // "physical" function costs no MboxHost memory because it is not
+  // instantiated per user — the provider's chain references a shared
+  // instance.
+  std::printf("\n");
+  bench::header({"variant", "deploy (ms)", "memory (MB)", "note"});
+  {
+    Testbed tb;
+    Pvnc pvnc;
+    pvnc.name = "alice-phone";
+    pvnc.chain.push_back(PvncModule{"tracker-blocker", {}});
+    const DeployOutcome out = tb.deploy(pvnc);
+    bench::row("per-user software box",
+               out.ok ? to_milliseconds(out.elapsed) : -1.0,
+               static_cast<double>(tb.mbox_host->memory_in_use()) /
+                   (1024 * 1024),
+               "instantiated for this user");
+  }
+  {
+    Testbed tb;
+    // Shared physical instance, pre-registered; the PVN just points at it.
+    TrackerBlocker shared({tb.addrs.tracker});
+    Chain physical("physical-tb", 0);
+    physical.append(&shared);
+    tb.access_sw->register_processor("physical-tb", &physical);
+    const SimTime t0 = tb.net.sim().now();
+    FlowRule divert;
+    divert.priority = 100;
+    divert.match.src = Prefix{tb.addrs.client, 32};
+    divert.cookie = "pvn:alice-phone";
+    divert.actions.push_back(ActMbox{"physical-tb"});
+    divert.actions.push_back(ActOutput{1});
+    bool installed = false;
+    tb.controller->install_rule(Testbed::kSwitchName, 0, divert,
+                                [&](bool ok) { installed = ok; });
+    tb.net.sim().run();
+    bench::row("reused physical box",
+               to_milliseconds(tb.net.sim().now() - t0),
+               static_cast<double>(tb.mbox_host->memory_in_use()) /
+                   (1024 * 1024),
+               installed ? "shared in-network function" : "install failed");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared table-printing helpers for the experiment benches.
+//
+// Most experiments are simulation studies (run a scenario, report a table
+// in the shape the paper argues), so each bench prints labelled rows;
+// bench_e15_dataplane additionally uses google-benchmark for the
+// microbenchmark-shaped measurements.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pvn::bench {
+
+inline void title(const std::string& experiment, const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+inline void header(const std::vector<std::string>& cols) {
+  for (const std::string& c : cols) std::printf("%-22s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%-22s", "------");
+  std::printf("\n");
+}
+
+inline void cell(const std::string& v) { std::printf("%-22s", v.c_str()); }
+inline void cell(double v) { std::printf("%-22.3f", v); }
+inline void cell(int v) { std::printf("%-22d", v); }
+inline void cell(std::uint64_t v) {
+  std::printf("%-22llu", static_cast<unsigned long long>(v));
+}
+
+template <typename... Ts>
+void row(Ts... vs) {
+  (cell(vs), ...);
+  std::printf("\n");
+}
+
+}  // namespace pvn::bench

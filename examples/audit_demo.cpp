@@ -1,0 +1,111 @@
+// Audit demo: the "trust but verify" story (paper §3.1 Auditor, §3.3).
+//
+// Alice deploys her PVN on an access network that turns out to be dishonest:
+// it charges for the tls-validator module but never instantiates it, and it
+// covertly shapes video. The auditor gathers attestation and measurement
+// evidence, files a billing dispute, the provider's reputation collapses,
+// and Alice's device re-homes to a competing PVN provider.
+#include <cstdio>
+
+#include "audit/attestation.h"
+#include "audit/reputation.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+int main() {
+  ReputationSystem reputation(0.4);
+  const std::vector<std::string> providers = {"shady-isp", "honest-isp"};
+
+  std::printf("== connecting to shady-isp ==\n");
+  Testbed shady;
+  shady.server->cheat_skip_module("tls-validator");  // the cheat
+  const Pvnc pvnc = shady.standard_pvnc();
+  const DeployOutcome out = shady.deploy(pvnc);
+  std::printf("deployed: %s, paid $%.2f for %zu modules\n",
+              out.chain_id.c_str(), out.paid, pvnc.chain.size());
+
+  // --- audit round -----------------------------------------------------------
+  std::printf("\n== audit round ==\n");
+  // 1. Attestation: the enclave can only sign what is actually deployed.
+  Attester enclave(4242);
+  KeyRegistry device_trust;
+  device_trust.trust(enclave.key());
+  std::vector<std::string> actually_deployed;
+  if (Chain* chain = shady.mbox_host->chain(out.chain_id)) {
+    for (const Middlebox* m : chain->modules()) {
+      actually_deployed.push_back(m->name());
+    }
+  }
+  const Digest expected = config_digest(pvnc.module_names(), {});
+  const Digest actual = config_digest(actually_deployed, {});
+  const AttestationQuote quote =
+      enclave.quote(/*nonce=*/7, actual, shady.net.sim().now());
+  const AttestationVerdict verdict = verify_quote(
+      quote, device_trust, enclave.key().public_key(), 7, expected);
+  std::printf("attestation: %s (expected %zu modules, enclave attests %zu)\n",
+              to_string(verdict), pvnc.chain.size(),
+              actually_deployed.size());
+
+  // 2. Active measurement: covert shaping check (install the cheat live).
+  shady.access_sw->add_meter("covert", Rate::kbps(1500), 20000);
+  FlowRule shape;
+  shape.priority = 5000;
+  shape.match.tos = 0x20;
+  shape.cookie = "isp-cheat";
+  shape.actions.push_back(ActMeter{"covert"});
+  shape.actions.push_back(ActOutput{1});
+  shady.access_sw->table(0).add(shape);
+
+  RateProbe control(*shady.client, *shady.web, 9001);
+  RateProbe marked(*shady.client, *shady.web, 9002);
+  double control_mbps = 0, marked_mbps = 0;
+  control.run(Rate::mbps(10), seconds(2), 0, "application/octet",
+              [&](const RateProbe::Result& r) { control_mbps = r.achieved_mbps; });
+  shady.net.sim().run();
+  marked.run(Rate::mbps(10), seconds(2), 0x20, "video/mp4",
+             [&](const RateProbe::Result& r) { marked_mbps = r.achieved_mbps; });
+  shady.net.sim().run();
+  const DifferentiationVerdict diff =
+      judge_differentiation(control_mbps, marked_mbps);
+  std::printf("differentiation probe: control %.1f Mbps vs video %.1f Mbps "
+              "-> %s (ratio %.2f)\n",
+              control_mbps, marked_mbps,
+              diff.differentiated ? "SHAPED" : "clean", diff.ratio);
+
+  // --- consequences ------------------------------------------------------------
+  std::printf("\n== consequences ==\n");
+  ViolationLog log;
+  if (verdict != AttestationVerdict::kOk) {
+    log.record({shady.net.sim().now(), "shady-isp", "config-mismatch",
+                "paid module not deployed"});
+  }
+  if (diff.differentiated) {
+    log.record({shady.net.sim().now(), "shady-isp", "differentiation",
+                "video shaped to ~1.5 Mbps"});
+  }
+  for (const Violation& v : log.all()) {
+    reputation.report_violation(v.provider, 0.5);
+    std::printf("violation recorded: %s (%s)\n", v.kind.c_str(),
+                v.detail.c_str());
+  }
+  const std::size_t dispute = shady.ledger->file_dispute(
+      shady.net.sim().now(), "alice-phone", "access-net", out.paid,
+      "attestation config-mismatch + differentiation evidence");
+  shady.ledger->grant_refund(dispute);
+  std::printf("dispute filed and refund granted: alice balance = $%.2f\n",
+              shady.ledger->balance("alice-phone"));
+  std::printf("shady-isp reputation: %.2f (blacklisted: %s)\n",
+              reputation.score("shady-isp"),
+              reputation.blacklisted("shady-isp") ? "yes" : "no");
+
+  // --- re-homing ----------------------------------------------------------------
+  const std::string choice = reputation.pick_provider(providers);
+  std::printf("\ndevice re-homes to: %s\n", choice.c_str());
+  Testbed honest;
+  const DeployOutcome out2 = honest.deploy(pvnc);
+  std::printf("redeployed on %s: %s (%zu modules)\n", choice.c_str(),
+              out2.ok ? out2.chain_id.c_str() : out2.failure.c_str(),
+              out2.deployed_modules.size());
+  return 0;
+}

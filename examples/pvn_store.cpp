@@ -1,0 +1,73 @@
+// PVN Store walkthrough (paper §3.1): "PVNC components can be provided as
+// independent entities and shared among users ... we propose building a
+// 'PVN Store' akin to an app- or browser-extension marketplace."
+//
+// Browse the catalog, compose a PVNC from purchased modules under a budget,
+// price it, deploy it, and show the itemized bill.
+#include <cstdio>
+
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+int main() {
+  Testbed tb;
+
+  std::printf("== PVN Store catalog ==\n");
+  std::printf("%-18s %-14s %-8s %s\n", "module", "publisher", "price",
+              "description");
+  for (const ModuleInfo& info : tb.store->catalog()) {
+    std::printf("%-18s %-14s $%-7.2f %s\n", info.name.c_str(),
+                info.publisher.c_str(), info.price_per_deploy,
+                info.description.c_str());
+  }
+
+  // Compose greedily by utility-per-dollar under a budget.
+  const double budget = 2.00;
+  const std::map<std::string, double> utility = {
+      {"pii-detector", 4.0},     {"tls-validator", 3.0},
+      {"dns-validator", 2.0},    {"tracker-blocker", 1.5},
+      {"malware-detector", 1.0}, {"classifier", 0.2}};
+  std::printf("\n== composing under a $%.2f budget ==\n", budget);
+
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const auto& [name, u] : utility) {
+    if (const ModuleInfo* info = tb.store->info(name)) {
+      const double per_dollar =
+          info->price_per_deploy > 0 ? u / info->price_per_deploy : u * 100;
+      ranked.emplace_back(per_dollar, name);
+    }
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  Pvnc pvnc;
+  pvnc.name = "alice-phone";
+  double spent = 0;
+  for (const auto& [per_dollar, name] : ranked) {
+    const double price = tb.store->info(name)->price_per_deploy;
+    if (spent + price > budget) continue;
+    spent += price;
+    pvnc.chain.push_back(PvncModule{name, {}});
+    std::printf("  + %-18s ($%.2f, %.1f utility/$)\n", name.c_str(), price,
+                per_dollar);
+  }
+  std::printf("cart total: $%.2f\n", tb.store->price_of(pvnc.module_names()));
+
+  const DeployOutcome out = tb.deploy(pvnc);
+  std::printf("\n== deployment ==\n");
+  if (!out.ok) {
+    std::printf("failed: %s\n", out.failure.c_str());
+    return 1;
+  }
+  std::printf("chain %s live after %s; paid $%.2f\n", out.chain_id.c_str(),
+              format_duration(out.elapsed).c_str(), out.paid);
+
+  std::printf("\n== itemized ledger ==\n");
+  for (const LedgerEntry& e : tb.ledger->entries()) {
+    std::printf("  %10s  %-12s -> %-12s $%-6.2f %s\n",
+                format_duration(e.at).c_str(), e.payer.c_str(),
+                e.payee.c_str(), e.amount, e.memo.c_str());
+  }
+  std::printf("access-net revenue: $%.2f\n", tb.ledger->balance("access-net"));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: author a PVNC in the text format, discover the access
+// network's PVN support via DHCP, negotiate, deploy, send traffic, and read
+// back what the PVN did for you.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "pvn/pvnc_parser.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+int main() {
+  // 1. The user writes (or buys from the PVN Store) a configuration.
+  const std::string pvnc_text = R"(
+# Alice's roaming protection profile
+pvnc "alice-phone" {
+  module tls-validator mode=block
+  module dns-validator mode=block
+  module pii-detector action=block
+  module tracker-blocker
+  policy drop proto=udp dport=1900        # no SSDP chatter
+}
+)";
+  const auto parsed = parse_pvnc(pvnc_text);
+  if (std::holds_alternative<ParseError>(parsed)) {
+    const auto& err = std::get<ParseError>(parsed);
+    std::printf("PVNC parse error at line %d: %s\n", err.line,
+                err.message.c_str());
+    return 1;
+  }
+  const Pvnc pvnc = std::get<Pvnc>(parsed);
+  std::printf("parsed PVNC '%s': %zu modules, %zu policies\n",
+              pvnc.name.c_str(), pvnc.chain.size(), pvnc.policies.size());
+
+  // 2. Join an access network: DHCP advertises PVN support.
+  Testbed tb;
+  DhcpClient dhcp(*tb.client);
+  DhcpLease lease;
+  dhcp.acquire(tb.addrs.control, [&](const DhcpLease& l) { lease = l; });
+  tb.net.sim().run();
+  std::printf("DHCP lease: addr=%s pvn=%s server=%s standards=%s\n",
+              lease.addr.to_string().c_str(),
+              lease.pvn_supported ? "yes" : "no",
+              lease.pvn_server.to_string().c_str(),
+              lease.pvn_standards.c_str());
+
+  // 3. Discover, negotiate, deploy.
+  const DeployOutcome out = tb.deploy(pvnc);
+  if (!out.ok) {
+    std::printf("deployment failed: %s\n", out.failure.c_str());
+    return 1;
+  }
+  std::printf("deployed chain %s in %s for $%.2f (%d messages)\n",
+              out.chain_id.c_str(), format_duration(out.elapsed).c_str(),
+              out.paid, out.messages_sent + out.messages_received);
+
+  // 4. Use the network: a normal fetch, a leaky beacon, a tracker beacon.
+  HttpClient http(*tb.client);
+  http.fetch(tb.addrs.web, 80, "/bytes/20000",
+             [](const HttpResponse& r, const FetchTiming& t) {
+               std::printf("web fetch: status=%d %zu bytes in %s\n", r.status,
+                           r.body.size(), format_duration(t.total()).c_str());
+             });
+  tb.net.sim().run();
+  TelemetryEmitter leaky(*tb.client, tb.addrs.web, 80,
+                         {"imei=356938035643809", "password=hunter2"});
+  leaky.start(2, milliseconds(50));
+  TelemetryEmitter tracker_beacon(*tb.client, tb.addrs.tracker, 80, {});
+  tracker_beacon.start(2, milliseconds(50));
+  tb.net.sim().run_until(tb.net.sim().now() + seconds(30));
+
+  // 5. Read the PVN's findings (what it blocked on your behalf).
+  if (Chain* chain = tb.mbox_host->chain(out.chain_id)) {
+    std::printf("\nPVN findings (%zu):\n", chain->findings().size());
+    for (const MboxFinding& f : chain->findings()) {
+      std::printf("  [%10s] %-16s %-16s %s\n",
+                  format_duration(f.at).c_str(), f.module.c_str(),
+                  f.kind.c_str(), f.detail.c_str());
+    }
+  }
+  return 0;
+}

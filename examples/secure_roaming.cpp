@@ -1,0 +1,112 @@
+// Secure roaming: the paper's headline user story — "the illusion that they
+// are in the same, fully controlled and customized network environment
+// regardless of which access network they connect to."
+//
+// Alice carries ONE PVNC across three very different access networks (a
+// full-featured home ISP, a coffee-shop WiFi that only allows privacy
+// modules, and an airport network that charges triple). On each network the
+// device negotiates what it can, and the same attacks are attempted; the
+// table shows what protection survived where.
+#include <cstdio>
+
+#include "mbox/inline_modules.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+namespace {
+
+struct NetworkRun {
+  std::string deployed;
+  bool tracker_blocked = false;
+  bool pii_blocked = false;
+  double paid = 0.0;
+};
+
+NetworkRun visit(const char* name, TestbedConfig cfg, const Pvnc& pvnc,
+                 const ClientConfig& ccfg) {
+  std::printf("-- connecting to %s --\n", name);
+  Testbed tb(cfg);
+  NetworkRun run;
+  const DeployOutcome out = tb.deploy(pvnc, ccfg);
+  if (!out.ok) {
+    run.deployed = out.failure;
+    return run;
+  }
+  run.paid = out.paid;
+  for (std::size_t i = 0; i < out.deployed_modules.size(); ++i) {
+    run.deployed += (i ? "," : "") + out.deployed_modules[i];
+  }
+
+  // Attack 1: tracker beacon.
+  const std::uint64_t before = tb.tracker_http->requests_served();
+  TelemetryEmitter beacon(*tb.client, tb.addrs.tracker, 80, {});
+  beacon.start(1, milliseconds(10));
+  tb.net.sim().run_until(tb.net.sim().now() + seconds(20));
+  run.tracker_blocked = tb.tracker_http->requests_served() == before;
+
+  // Attack 2: PII leak to an arbitrary server.
+  bool leak_arrived = false;
+  tb.web_http->set_handler([&](const HttpRequest& req) {
+    if (payload_contains(req.body, "imei=")) leak_arrived = true;
+    return synthesize_response(req);
+  });
+  TelemetryEmitter leaky(*tb.client, tb.addrs.web, 80, {"imei=35693803564"});
+  leaky.start(1, milliseconds(10));
+  tb.net.sim().run_until(tb.net.sim().now() + seconds(20));
+  run.pii_blocked = !leak_arrived;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  // One PVNC for every network Alice visits.
+  Pvnc pvnc;
+  pvnc.name = "alice-phone";
+  pvnc.chain.push_back(PvncModule{"tls-validator", {{"mode", "block"}}});
+  pvnc.chain.push_back(PvncModule{"pii-detector", {{"action", "block"}}});
+  pvnc.chain.push_back(PvncModule{"tracker-blocker", {}});
+
+  ClientConfig ccfg;
+  ccfg.constraints.max_price = 6.0;
+  ccfg.constraints.module_utility = {{"tls-validator", 2.0},
+                                     {"pii-detector", 3.0},
+                                     {"tracker-blocker", 1.0}};
+
+  struct Visit {
+    const char* name;
+    NetworkRun run;
+  };
+  std::vector<Visit> visits;
+
+  {
+    TestbedConfig home;  // full support, fair prices
+    visits.push_back({"home ISP", visit("home ISP", home, pvnc, ccfg)});
+  }
+  {
+    TestbedConfig cafe;  // only privacy modules allowed
+    cafe.allowed_modules = {"pii-detector", "tracker-blocker"};
+    visits.push_back(
+        {"coffee-shop WiFi", visit("coffee-shop WiFi", cafe, pvnc, ccfg)});
+  }
+  {
+    TestbedConfig airport;  // everything offered, at triple price
+    airport.price_multiplier = 3.0;
+    visits.push_back(
+        {"airport WiFi", visit("airport WiFi", airport, pvnc, ccfg)});
+  }
+
+  std::printf("\n%-18s %-44s %-10s %-14s %-12s\n", "network", "deployed",
+              "paid", "tracker", "PII leak");
+  for (const Visit& v : visits) {
+    std::printf("%-18s %-44s $%-9.2f %-14s %-12s\n", v.name,
+                v.run.deployed.c_str(), v.run.paid,
+                v.run.tracker_blocked ? "blocked" : "LEAKED",
+                v.run.pii_blocked ? "blocked" : "LEAKED");
+  }
+  std::printf(
+      "\nThe same PVNC delivered the strongest protection each network could "
+      "offer —\nAlice never reconfigured anything while roaming.\n");
+  return 0;
+}

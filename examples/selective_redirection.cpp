@@ -1,0 +1,67 @@
+// Selective redirection (Fig. 1c) end-to-end through the PVNC `tunnel`
+// policy: sensitive flows (port 443, which need TLS interception in a
+// trusted cloud enclave) are encapsulated toward the cloud gateway by the
+// access switch; everything else stays in-network at full speed.
+#include <cstdio>
+
+#include "netsim/trace.h"
+#include "testbed/testbed.h"
+
+using namespace pvn;
+
+int main() {
+  Testbed tb;
+
+  // PVNC: tunnel only dport 443 to the cloud gateway.
+  Pvnc pvnc;
+  pvnc.name = "alice-phone";
+  PvncPolicy tunnel;
+  tunnel.kind = PvncPolicy::Kind::kTunnel;
+  tunnel.match.proto = IpProto::kUdp;
+  tunnel.match.dst_port = 443;
+  tunnel.gateway = tb.addrs.cloud_gw;
+  pvnc.policies.push_back(tunnel);
+  const DeployOutcome out = tb.deploy(pvnc);
+  std::printf("deployment: %s\n",
+              out.ok ? out.chain_id.c_str() : out.failure.c_str());
+
+  // Echo responders on the web server for both flow classes.
+  tb.web->bind_udp(80, [&](Ipv4Addr src, Port sport, Port dport,
+                           const Bytes& b) {
+    tb.web->send_udp(src, dport, sport, b);
+  });
+  tb.web->bind_udp(443, [&](Ipv4Addr src, Port sport, Port dport,
+                            const Bytes& b) {
+    tb.web->send_udp(src, dport, sport, b);
+  });
+
+  SimTime sent80 = 0, sent443 = 0;
+  SimDuration rtt80 = 0, rtt443 = 0;
+  tb.client->bind_udp(7080, [&](Ipv4Addr, Port, Port, const Bytes&) {
+    rtt80 = tb.net.sim().now() - sent80;
+  });
+  tb.client->bind_udp(7443, [&](Ipv4Addr, Port, Port, const Bytes&) {
+    rtt443 = tb.net.sim().now() - sent443;
+  });
+
+  sent80 = tb.net.sim().now();
+  tb.client->send_udp(tb.addrs.web, 7080, 80, Bytes(64, 1));
+  tb.net.sim().run();
+  sent443 = tb.net.sim().now();
+  tb.client->send_udp(tb.addrs.web, 7443, 443, Bytes(64, 2));
+  tb.net.sim().run();
+
+  std::printf("\nweb flow (port 80):        RTT %s   [in-network path]\n",
+              format_duration(rtt80).c_str());
+  std::printf("sensitive flow (port 443): RTT %s   [via cloud enclave]\n",
+              format_duration(rtt443).c_str());
+  std::printf("\ncloud gateway decapsulated %llu / re-encapsulated %llu "
+              "packets; auth failures: %llu\n",
+              static_cast<unsigned long long>(tb.cloud_gw->decapsulated()),
+              static_cast<unsigned long long>(tb.cloud_gw->reencapsulated()),
+              static_cast<unsigned long long>(tb.cloud_gw->auth_failures()));
+  std::printf(
+      "\nOnly the flows that need the trusted environment pay the detour — "
+      "the\nrest of Alice's traffic never leaves the access network.\n");
+  return 0;
+}

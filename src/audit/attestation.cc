@@ -1,0 +1,61 @@
+#include "audit/attestation.h"
+
+namespace pvn {
+
+Bytes AttestationQuote::signed_bytes() const {
+  ByteWriter w;
+  w.u64(nonce);
+  w.raw(config_digest.to_bytes());
+  w.i64(issued_at);
+  return std::move(w).take();
+}
+
+Digest config_digest(const std::vector<std::string>& chain_modules,
+                     const std::vector<std::string>& rule_render) {
+  ByteWriter w;
+  w.str("pvn-config-v1");
+  w.u32(static_cast<std::uint32_t>(chain_modules.size()));
+  for (const std::string& m : chain_modules) w.str(m);
+  w.u32(static_cast<std::uint32_t>(rule_render.size()));
+  for (const std::string& r : rule_render) w.str(r);
+  return digest_of(w.bytes());
+}
+
+AttestationQuote Attester::quote(std::uint64_t nonce, const Digest& digest,
+                                 SimTime now) const {
+  AttestationQuote q;
+  q.nonce = nonce;
+  q.config_digest = digest;
+  q.issued_at = now;
+  q.signature = key_.sign(q.signed_bytes());
+  return q;
+}
+
+const char* to_string(AttestationVerdict verdict) {
+  switch (verdict) {
+    case AttestationVerdict::kOk: return "ok";
+    case AttestationVerdict::kUnknownKey: return "unknown-key";
+    case AttestationVerdict::kBadSignature: return "bad-signature";
+    case AttestationVerdict::kWrongNonce: return "wrong-nonce";
+    case AttestationVerdict::kConfigMismatch: return "config-mismatch";
+  }
+  return "?";
+}
+
+AttestationVerdict verify_quote(const AttestationQuote& quote,
+                                const KeyRegistry& trusted,
+                                const PublicKey& enclave_key,
+                                std::uint64_t expected_nonce,
+                                const Digest& expected_config) {
+  if (!trusted.trusts(enclave_key)) return AttestationVerdict::kUnknownKey;
+  if (!trusted.verify(enclave_key, quote.signed_bytes(), quote.signature)) {
+    return AttestationVerdict::kBadSignature;
+  }
+  if (quote.nonce != expected_nonce) return AttestationVerdict::kWrongNonce;
+  if (!(quote.config_digest == expected_config)) {
+    return AttestationVerdict::kConfigMismatch;
+  }
+  return AttestationVerdict::kOk;
+}
+
+}  // namespace pvn

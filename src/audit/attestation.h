@@ -1,0 +1,58 @@
+// Trusted-stack attestation (paper §3.1 "Auditor", §3.3): the PVN host's
+// enclave signs a quote binding a fresh client nonce to a digest of the
+// deployed configuration (chain modules + installed rules). The device
+// verifies the quote against keys it trusts (manufacturer-distributed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/digest.h"
+#include "util/time.h"
+
+namespace pvn {
+
+struct AttestationQuote {
+  std::uint64_t nonce = 0;
+  Digest config_digest;
+  SimTime issued_at = 0;
+  Signature signature;
+
+  Bytes signed_bytes() const;
+};
+
+// Canonical digest of a deployed configuration: ordered module names plus
+// rendered flow rules. Both sides compute it independently.
+Digest config_digest(const std::vector<std::string>& chain_modules,
+                     const std::vector<std::string>& rule_render);
+
+// The enclave side (runs on the PVN host).
+class Attester {
+ public:
+  explicit Attester(std::uint64_t key_seed) : key_(key_seed) {}
+
+  const KeyPair& key() const { return key_; }
+
+  AttestationQuote quote(std::uint64_t nonce, const Digest& digest,
+                         SimTime now) const;
+
+ private:
+  KeyPair key_;
+};
+
+enum class AttestationVerdict {
+  kOk,
+  kUnknownKey,     // enclave key not in the trust registry
+  kBadSignature,   // quote tampered or forged
+  kWrongNonce,     // replayed quote
+  kConfigMismatch, // deployed config differs from what the device requested
+};
+const char* to_string(AttestationVerdict verdict);
+
+AttestationVerdict verify_quote(const AttestationQuote& quote,
+                                const KeyRegistry& trusted,
+                                const PublicKey& enclave_key,
+                                std::uint64_t expected_nonce,
+                                const Digest& expected_config);
+
+}  // namespace pvn

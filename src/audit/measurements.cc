@@ -1,0 +1,100 @@
+#include "audit/measurements.h"
+
+#include "proto/http.h"
+
+namespace pvn {
+
+RateProbe::RateProbe(Host& sender, Host& sink, Port sink_port)
+    : sender_(&sender), sink_(&sink), sink_port_(sink_port) {}
+
+void RateProbe::run(Rate rate, SimDuration duration, std::uint8_t tos,
+                    const std::string& payload_marker, Callback done) {
+  received_ = 0;
+  received_bytes_ = 0;
+  sink_->bind_udp(sink_port_, [this](Ipv4Addr, Port, Port, const Bytes& data) {
+    ++received_;
+    received_bytes_ += data.size();
+  });
+
+  // Packet payload: the marker (so DPI classifies the stream) plus filler.
+  Bytes payload = to_bytes("Content-Type: " + payload_marker + "\r\n");
+  payload.resize(1200, 0x5A);
+
+  const SimDuration interval = rate.transmit_time(
+      static_cast<std::int64_t>(payload.size() + UdpHeader::kWireSize +
+                                IpHeader::kWireSize));
+  const int total = interval > 0
+                        ? static_cast<int>(duration / interval)
+                        : 1000;
+
+  auto sent = std::make_shared<int>(0);
+  Simulator& sim = sender_->sim();
+  for (int i = 0; i < total; ++i) {
+    sim.schedule_after(interval * i, [this, payload, tos, sent] {
+      sender_->send_udp(sink_->addr(), src_port_, sink_port_, payload, tos);
+      ++*sent;
+    });
+  }
+  const double offered_mbps = rate.mbps_value();
+  sim.schedule_after(duration + seconds(1), [this, done = std::move(done),
+                                             offered_mbps, duration, total] {
+    Result r;
+    r.offered_mbps = offered_mbps;
+    r.packets_sent = total;
+    r.packets_received = received_;
+    r.achieved_mbps =
+        static_cast<double>(received_bytes_) * 8.0 / to_seconds(duration) / 1e6;
+    done(r);
+  });
+}
+
+DifferentiationVerdict judge_differentiation(double control_mbps,
+                                             double marked_mbps,
+                                             double threshold) {
+  DifferentiationVerdict v;
+  if (control_mbps <= 0) return v;
+  v.ratio = marked_mbps / control_mbps;
+  v.differentiated = v.ratio < threshold;
+  return v;
+}
+
+ContentCheck::ContentCheck(Host& client)
+    : client_(&client), http_(std::make_unique<HttpClient>(client)) {}
+
+void ContentCheck::run(Ipv4Addr server, Port port, const std::string& path,
+                       const Digest& expected, Callback done) {
+  http_->fetch(server, port, path,
+               [expected, done = std::move(done)](const HttpResponse& resp,
+                                                  const FetchTiming& timing) {
+                 const Digest got = digest_of(resp.body);
+                 const bool modified = !timing.ok || !(got == expected);
+                 done(modified, got);
+               });
+}
+
+PathInflationVerdict judge_path_inflation(SimDuration measured,
+                                          SimDuration baseline,
+                                          double tolerance) {
+  PathInflationVerdict v;
+  v.measured = measured;
+  v.baseline = baseline;
+  v.inflated = baseline > 0 &&
+               static_cast<double>(measured) >
+                   static_cast<double>(baseline) * tolerance;
+  return v;
+}
+
+bool tls_intercepted(const PublicKey& pinned_server_key,
+                     const PublicKey& presented_key) {
+  return !(pinned_server_key == presented_key);
+}
+
+std::size_t ViolationLog::count(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const Violation& v : violations_) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace pvn

@@ -1,0 +1,114 @@
+// Active-measurement auditing (paper §3.1/§3.3): "limited active
+// measurements to audit ISPs and check for violations of PVN policies" —
+// tests for service differentiation (Glasnost/BingeOn-style record-replay),
+// content modification, TLS interception, and path inflation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proto/host.h"
+#include "util/digest.h"
+
+namespace pvn {
+
+struct Violation {
+  SimTime at = 0;
+  std::string provider;
+  std::string kind;    // "differentiation", "content-modification", ...
+  std::string detail;
+};
+
+// --- Rate probe (differentiation detection) ---------------------------------
+
+// Sends a constant-rate UDP stream with a given DSCP marking and measures
+// goodput at a cooperating sink. Comparing marked vs control goodput
+// reveals class-based shaping (the record/replay idea of Glasnost [9] and
+// the BingeOn study [18]).
+class RateProbe {
+ public:
+  RateProbe(Host& sender, Host& sink, Port sink_port);
+
+  struct Result {
+    double offered_mbps = 0;
+    double achieved_mbps = 0;
+    int packets_sent = 0;
+    int packets_received = 0;
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  // Streams for `duration` at `rate` with payloads that look like `kind`
+  // ("video" payloads carry a video content marker so DPI classifies them).
+  void run(Rate rate, SimDuration duration, std::uint8_t tos,
+           const std::string& payload_marker, Callback done);
+
+ private:
+  Host* sender_;
+  Host* sink_;
+  Port sink_port_;
+  Port src_port_ = 40000;
+  int received_ = 0;
+  std::uint64_t received_bytes_ = 0;
+};
+
+// Verdict: shaped iff the marked stream achieved < `threshold` of control.
+struct DifferentiationVerdict {
+  bool differentiated = false;
+  double ratio = 1.0;  // marked / control goodput
+};
+DifferentiationVerdict judge_differentiation(double control_mbps,
+                                             double marked_mbps,
+                                             double threshold = 0.8);
+
+// --- Content modification ----------------------------------------------------
+
+// Fetches a URL whose content digest the device knows out-of-band (e.g.
+// pinned from a trusted network) and compares.
+class ContentCheck {
+ public:
+  explicit ContentCheck(Host& client);
+
+  using Callback = std::function<void(bool modified, Digest got)>;
+  void run(Ipv4Addr server, Port port, const std::string& path,
+           const Digest& expected, Callback done);
+
+ private:
+  Host* client_;
+  std::unique_ptr<class HttpClient> http_;
+};
+
+// --- Path inflation -----------------------------------------------------------
+
+// Compares measured RTT against a baseline (e.g. the RTT promised in the
+// PVN offer, or measured on a trusted network). Inflated iff measured >
+// baseline * tolerance.
+struct PathInflationVerdict {
+  bool inflated = false;
+  SimDuration measured = 0;
+  SimDuration baseline = 0;
+};
+PathInflationVerdict judge_path_inflation(SimDuration measured,
+                                          SimDuration baseline,
+                                          double tolerance = 1.5);
+
+// --- TLS interception ----------------------------------------------------------
+
+// The device pins the server's real key id (obtained via a trusted channel)
+// and compares against what the network presented.
+bool tls_intercepted(const PublicKey& pinned_server_key,
+                     const PublicKey& presented_key);
+
+// --- Violation log --------------------------------------------------------------
+
+class ViolationLog {
+ public:
+  void record(Violation v) { violations_.push_back(std::move(v)); }
+  const std::vector<Violation>& all() const { return violations_; }
+  std::size_t count(const std::string& kind) const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+}  // namespace pvn

@@ -1,0 +1,34 @@
+#include "audit/path_proof.h"
+
+namespace pvn {
+namespace {
+
+Digest hop_mac(const Bytes& key, const Digest& packet_digest,
+               const Digest* prev) {
+  ByteWriter w;
+  w.raw(packet_digest.to_bytes());
+  if (prev != nullptr) w.raw(prev->to_bytes());
+  return hmac(key, w.bytes());
+}
+
+}  // namespace
+
+void extend_proof(PathProof& proof, const Bytes& hop_key) {
+  const Digest* prev = proof.macs.empty() ? nullptr : &proof.macs.back();
+  proof.macs.push_back(hop_mac(hop_key, proof.packet_digest, prev));
+}
+
+bool verify_proof(const PathProof& proof, const Digest& packet_digest,
+                  const std::vector<Bytes>& hop_keys) {
+  if (!(proof.packet_digest == packet_digest)) return false;
+  if (proof.macs.size() != hop_keys.size()) return false;
+  const Digest* prev = nullptr;
+  for (std::size_t i = 0; i < hop_keys.size(); ++i) {
+    const Digest expected = hop_mac(hop_keys[i], packet_digest, prev);
+    if (!(proof.macs[i] == expected)) return false;
+    prev = &proof.macs[i];
+  }
+  return true;
+}
+
+}  // namespace pvn

@@ -1,0 +1,30 @@
+// Path proofs (paper §3.1: "the device will need to obtain proofs that
+// packets sent to the PVN were actually routed correctly through the PVN").
+//
+// Each PVN element on the intended path holds a per-deployment key and
+// appends HMAC(key_i, packet_digest || previous_mac) to a proof chain the
+// device can verify end-to-end: a valid chain proves the packet visited
+// every element, in order.
+#pragma once
+
+#include <vector>
+
+#include "util/digest.h"
+
+namespace pvn {
+
+struct PathProof {
+  Digest packet_digest;
+  std::vector<Digest> macs;  // one per hop, in path order
+};
+
+// Hop side: extends the proof with this hop's MAC.
+void extend_proof(PathProof& proof, const Bytes& hop_key);
+
+// Device side: recomputes the chain with all hop keys (in expected order).
+// Returns true iff every hop MAC matches — i.e. the packet traversed every
+// element in order, with no skips, reorderings, or substitutions.
+bool verify_proof(const PathProof& proof, const Digest& packet_digest,
+                  const std::vector<Bytes>& hop_keys);
+
+}  // namespace pvn

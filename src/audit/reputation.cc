@@ -1,0 +1,39 @@
+#include "audit/reputation.h"
+
+namespace pvn {
+
+double ReputationSystem::score(const std::string& provider) const {
+  const auto it = scores_.find(provider);
+  return it == scores_.end() ? 1.0 : it->second;
+}
+
+void ReputationSystem::report_violation(const std::string& provider,
+                                        double weight) {
+  double& s = scores_.try_emplace(provider, 1.0).first->second;
+  s *= (1.0 - weight);
+  if (s < 0.0) s = 0.0;
+}
+
+void ReputationSystem::report_clean_audit(const std::string& provider,
+                                          double recovery) {
+  double& s = scores_.try_emplace(provider, 1.0).first->second;
+  s += recovery;
+  if (s > 1.0) s = 1.0;
+}
+
+std::string ReputationSystem::pick_provider(
+    const std::vector<std::string>& candidates) const {
+  std::string best;
+  double best_score = -1.0;
+  for (const std::string& c : candidates) {
+    if (blacklisted(c)) continue;
+    const double s = score(c);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace pvn

@@ -1,0 +1,40 @@
+// Provider reputation (paper §3.1: violations "inform reputations for PVN
+// providers"; §3.3: "face loss of revenue from blacklisting").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "audit/measurements.h"
+
+namespace pvn {
+
+class ReputationSystem {
+ public:
+  explicit ReputationSystem(double blacklist_threshold = 0.3)
+      : threshold_(blacklist_threshold) {}
+
+  // Score in [0,1]; unknown providers start at 1.0 ("trust but verify").
+  double score(const std::string& provider) const;
+
+  // Each verified violation multiplies the score by (1 - weight).
+  void report_violation(const std::string& provider, double weight = 0.25);
+  // Successful audits slowly rebuild trust.
+  void report_clean_audit(const std::string& provider, double recovery = 0.02);
+
+  bool blacklisted(const std::string& provider) const {
+    return score(provider) < threshold_;
+  }
+
+  // Among candidates, the best non-blacklisted provider (highest score), or
+  // empty if all are blacklisted — the "take their business to competing
+  // PVN-supporting providers" decision.
+  std::string pick_provider(const std::vector<std::string>& candidates) const;
+
+ private:
+  double threshold_;
+  std::map<std::string, double> scores_;
+};
+
+}  // namespace pvn

@@ -1,0 +1,89 @@
+#include "mbox/host.h"
+
+#include <algorithm>
+
+namespace pvn {
+
+FlowKey FlowKey::of(const Packet& pkt) {
+  FlowKey key;
+  key.src = pkt.ip.src;
+  key.dst = pkt.ip.dst;
+  key.proto = pkt.ip.proto;
+  peek_ports(static_cast<std::uint8_t>(pkt.ip.proto), pkt.l4, key.src_port,
+             key.dst_port);
+  return key;
+}
+
+FlowKey FlowKey::reversed() const {
+  FlowKey key = *this;
+  std::swap(key.src, key.dst);
+  std::swap(key.src_port, key.dst_port);
+  return key;
+}
+
+std::vector<Packet> Chain::process(Packet pkt, SimTime now,
+                                   SimDuration& delay) {
+  ++packets_;
+  delay = per_packet_delay_;
+  std::vector<Packet> injected;
+  MboxContext ctx;
+  ctx.now = now;
+  ctx.findings = &findings_;
+  ctx.injected = &injected;
+
+  bool dropped = false;
+  for (Middlebox* mbox : modules_) {
+    ++mbox->packets_seen;
+    delay += mbox->extra_delay();
+    if (mbox->process(pkt, ctx) == Middlebox::Verdict::kDrop) {
+      ++mbox->packets_dropped;
+      dropped = true;
+      break;
+    }
+  }
+  std::vector<Packet> out;
+  if (!dropped) out.push_back(std::move(pkt));
+  for (Packet& p : injected) out.push_back(std::move(p));
+  return out;
+}
+
+void MboxHost::instantiate(std::unique_ptr<Middlebox> mbox,
+                           std::function<void(Middlebox*)> ready) {
+  if (memory_in_use_ + cfg_.memory_per_instance > cfg_.memory_budget) {
+    sim_->schedule_after(0, [ready = std::move(ready)] { ready(nullptr); });
+    return;
+  }
+  memory_in_use_ += cfg_.memory_per_instance;
+  Middlebox* raw = mbox.get();
+  owned_.push_back(std::move(mbox));
+  sim_->schedule_after(cfg_.instantiation_delay,
+                       [raw, ready = std::move(ready)] { ready(raw); });
+}
+
+bool MboxHost::destroy(Middlebox* mbox) {
+  const auto it = std::find_if(
+      owned_.begin(), owned_.end(),
+      [mbox](const std::unique_ptr<Middlebox>& p) { return p.get() == mbox; });
+  if (it == owned_.end()) return false;
+  owned_.erase(it);
+  memory_in_use_ -= cfg_.memory_per_instance;
+  return true;
+}
+
+Chain& MboxHost::create_chain(const std::string& id) {
+  auto chain = std::make_unique<Chain>(id, cfg_.per_packet_delay);
+  Chain& ref = *chain;
+  chains_[id] = std::move(chain);
+  return ref;
+}
+
+Chain* MboxHost::chain(const std::string& id) {
+  const auto it = chains_.find(id);
+  return it == chains_.end() ? nullptr : it->second.get();
+}
+
+bool MboxHost::destroy_chain(const std::string& id) {
+  return chains_.erase(id) > 0;
+}
+
+}  // namespace pvn

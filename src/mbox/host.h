@@ -1,0 +1,81 @@
+// MboxHost: the NFV compute pool of an access network, with the resource
+// model the paper cites from ClickOS [24] (§3.3 "Scalability and overhead"):
+// ~30 ms to instantiate an instance, ~45 µs of added per-packet delay, and
+// ~6 MB of memory per instance. Chains built here are registered with the
+// SDN switch as PacketProcessors.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "mbox/middlebox.h"
+#include "sdn/switch.h"
+#include "util/units.h"
+
+namespace pvn {
+
+struct MboxHostConfig {
+  SimDuration instantiation_delay = milliseconds(30);
+  SimDuration per_packet_delay = microseconds(45);
+  std::int64_t memory_per_instance = 6 * kMiB;
+  std::int64_t memory_budget = 4 * kGiB;
+};
+
+// An ordered set of middlebox instances one PVN's traffic traverses.
+class Chain : public PacketProcessor {
+ public:
+  Chain(std::string id, SimDuration per_packet_delay)
+      : id_(std::move(id)), per_packet_delay_(per_packet_delay) {}
+
+  const std::string& id() const { return id_; }
+  void append(Middlebox* mbox) { modules_.push_back(mbox); }
+  const std::vector<Middlebox*>& modules() const { return modules_; }
+
+  std::vector<Packet> process(Packet pkt, SimTime now,
+                              SimDuration& delay) override;
+
+  const std::vector<MboxFinding>& findings() const { return findings_; }
+  std::uint64_t packets() const { return packets_; }
+
+ private:
+  std::string id_;
+  SimDuration per_packet_delay_;
+  std::vector<Middlebox*> modules_;
+  std::vector<MboxFinding> findings_;
+  std::uint64_t packets_ = 0;
+};
+
+class MboxHost {
+ public:
+  MboxHost(Simulator& sim, MboxHostConfig cfg = {})
+      : sim_(&sim), cfg_(cfg) {}
+
+  // Instantiates a middlebox (charging instantiation delay + memory).
+  // `ready` fires with the instance pointer, or nullptr if the host is out
+  // of memory. The host owns the instance.
+  void instantiate(std::unique_ptr<Middlebox> mbox,
+                   std::function<void(Middlebox*)> ready);
+
+  // Tears down an instance, releasing its memory.
+  bool destroy(Middlebox* mbox);
+
+  // Creates an empty chain with the configured per-packet base delay.
+  Chain& create_chain(const std::string& id);
+  Chain* chain(const std::string& id);
+  bool destroy_chain(const std::string& id);
+
+  std::int64_t memory_in_use() const { return memory_in_use_; }
+  std::int64_t memory_budget() const { return cfg_.memory_budget; }
+  int instances() const { return static_cast<int>(owned_.size()); }
+  const MboxHostConfig& config() const { return cfg_; }
+
+ private:
+  Simulator* sim_;
+  MboxHostConfig cfg_;
+  std::vector<std::unique_ptr<Middlebox>> owned_;
+  std::map<std::string, std::unique_ptr<Chain>> chains_;
+  std::int64_t memory_in_use_ = 0;
+};
+
+}  // namespace pvn

@@ -1,0 +1,347 @@
+#include "mbox/inline_modules.h"
+
+#include <algorithm>
+
+namespace pvn {
+
+bool payload_contains(const Bytes& haystack, const Bytes& needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  return std::search(haystack.begin(), haystack.end(), needle.begin(),
+                     needle.end()) != haystack.end();
+}
+
+bool payload_contains(const Bytes& haystack, const std::string& needle) {
+  return payload_contains(haystack, to_bytes(needle));
+}
+
+// --- TlsValidator -----------------------------------------------------------
+
+TlsValidator::TlsValidator(const TrustStore& trust, EnforcementMode mode,
+                           Port tls_port)
+    : trust_(&trust), mode_(mode), tls_port_(tls_port) {}
+
+TlsValidator::FlowState& TlsValidator::state_for(const FlowKey& key) {
+  return flows_[key];
+}
+
+void TlsValidator::inject_rsts(const Packet& server_hello_pkt,
+                               MboxContext& ctx) {
+  const auto seg = parse_tcp(server_hello_pkt.l4);
+  if (!seg || ctx.injected == nullptr) return;
+  // RST toward the client, spoofed from the server.
+  TcpHeader to_client;
+  to_client.src_port = seg->hdr.src_port;
+  to_client.dst_port = seg->hdr.dst_port;
+  to_client.seq = seg->hdr.seq;
+  to_client.flags = kTcpRst;
+  Packet rst1;
+  rst1.ip.src = server_hello_pkt.ip.src;
+  rst1.ip.dst = server_hello_pkt.ip.dst;
+  rst1.ip.proto = IpProto::kTcp;
+  rst1.l4 = serialize_tcp(to_client, {});
+  ctx.injected->push_back(std::move(rst1));
+  // RST toward the server, spoofed from the client.
+  TcpHeader to_server;
+  to_server.src_port = seg->hdr.dst_port;
+  to_server.dst_port = seg->hdr.src_port;
+  to_server.seq = seg->hdr.ack;
+  to_server.flags = kTcpRst;
+  Packet rst2;
+  rst2.ip.src = server_hello_pkt.ip.dst;
+  rst2.ip.dst = server_hello_pkt.ip.src;
+  rst2.ip.proto = IpProto::kTcp;
+  rst2.l4 = serialize_tcp(to_server, {});
+  ctx.injected->push_back(std::move(rst2));
+}
+
+Middlebox::Verdict TlsValidator::on_record(const FlowKey& key, FlowState& st,
+                                           const TlsRecord& rec, Packet& pkt,
+                                           MboxContext& ctx) {
+  switch (rec.type) {
+    case TlsContentType::kClientHello: {
+      ByteReader r(rec.body);
+      st.sni = r.str();
+      // Remember the SNI for the reverse (server->client) flow.
+      sni_by_server_flow_[key.reversed()] = st.sni;
+      return Verdict::kForward;
+    }
+    case TlsContentType::kServerHello: {
+      if (st.verdict_done) return Verdict::kForward;
+      st.verdict_done = true;
+      ++checked_;
+      ByteReader r(rec.body);
+      r.blob();  // server nonce
+      const auto chain = decode_chain(r.blob());
+      std::string sni;
+      if (const auto it = sni_by_server_flow_.find(key);
+          it != sni_by_server_flow_.end()) {
+        sni = it->second;
+      }
+      const CertStatus status =
+          chain ? validate_chain(*chain, *trust_, ctx.now, sni)
+                : CertStatus::kEmptyChain;
+      if (status == CertStatus::kOk) return Verdict::kForward;
+      ctx.report(name_, "tls-invalid-cert",
+                 "sni=" + sni + " status=" + to_string(status));
+      if (mode_ == EnforcementMode::kBlock) {
+        ++blocked_;
+        inject_rsts(pkt, ctx);
+        return Verdict::kDrop;
+      }
+      return Verdict::kForward;
+    }
+    default:
+      return Verdict::kForward;
+  }
+}
+
+Middlebox::Verdict TlsValidator::process(Packet& pkt, MboxContext& ctx) {
+  if (pkt.ip.proto != IpProto::kTcp) return Verdict::kForward;
+  const auto seg = parse_tcp(pkt.l4);
+  if (!seg) return Verdict::kForward;
+  if (seg->hdr.src_port != tls_port_ && seg->hdr.dst_port != tls_port_) {
+    return Verdict::kForward;
+  }
+  const FlowKey key = FlowKey::of(pkt);
+  FlowState& st = state_for(key);
+  if (st.gave_up) return Verdict::kForward;
+
+  if (seg->hdr.syn()) {
+    st.next_seq = seg->hdr.seq + 1;
+    st.synced = true;
+    return Verdict::kForward;
+  }
+  if (seg->payload.empty()) return Verdict::kForward;
+  if (!st.synced) {
+    st.gave_up = true;  // joined mid-flow; cannot reassemble reliably
+    return Verdict::kForward;
+  }
+  if (seg->hdr.seq != st.next_seq) {
+    if (seg->hdr.seq + seg->payload.size() <= st.next_seq) {
+      return Verdict::kForward;  // pure duplicate: already inspected
+    }
+    // Out-of-order beyond our simple tracker: stop inspecting this flow.
+    st.gave_up = true;
+    ctx.report(name_, "tls-unverifiable", "out-of-order flow");
+    return Verdict::kForward;
+  }
+  st.next_seq += static_cast<std::uint32_t>(seg->payload.size());
+
+  // Reassemble complete length-prefixed frames, keeping any remainder
+  // buffered for the next segment.
+  std::vector<Bytes> frames;
+  st.buffer.insert(st.buffer.end(), seg->payload.begin(), seg->payload.end());
+  for (;;) {
+    if (st.buffer.size() < 4) break;
+    const std::uint32_t len = (std::uint32_t(st.buffer[0]) << 24) |
+                              (std::uint32_t(st.buffer[1]) << 16) |
+                              (std::uint32_t(st.buffer[2]) << 8) |
+                              std::uint32_t(st.buffer[3]);
+    if (st.buffer.size() < 4u + len) break;
+    frames.emplace_back(st.buffer.begin() + 4, st.buffer.begin() + 4 + len);
+    st.buffer.erase(st.buffer.begin(), st.buffer.begin() + 4 + len);
+  }
+  Verdict verdict = Verdict::kForward;
+  for (const Bytes& frame : frames) {
+    const auto rec = TlsRecord::decode(frame);
+    if (!rec) continue;
+    const Verdict v = on_record(key, st, *rec, pkt, ctx);
+    if (v == Verdict::kDrop) verdict = Verdict::kDrop;
+  }
+  return verdict;
+}
+
+// --- DnsValidator -----------------------------------------------------------
+
+DnsValidator::DnsValidator(const KeyRegistry* trusted_zone_keys,
+                           PublicKey zone_key_id,
+                           std::map<std::string, Ipv4Addr> pins,
+                           EnforcementMode mode,
+                           std::set<std::string> require_signed)
+    : trusted_(trusted_zone_keys),
+      zone_key_id_(zone_key_id),
+      pins_(std::move(pins)),
+      mode_(mode),
+      require_signed_(std::move(require_signed)) {}
+
+Middlebox::Verdict DnsValidator::process(Packet& pkt, MboxContext& ctx) {
+  if (pkt.ip.proto != IpProto::kUdp) return Verdict::kForward;
+  const auto dg = parse_udp(pkt.l4);
+  if (!dg || dg->hdr.src_port != kDnsPort) return Verdict::kForward;
+  const auto msg = DnsMessage::decode(dg->payload);
+  if (!msg || !msg->response) return Verdict::kForward;
+  ++checked_;
+
+  for (const DnsRecord& rec : msg->answers) {
+    bool bad = false;
+    std::string why;
+    if (rec.signed_record) {
+      if (trusted_ != nullptr &&
+          !trusted_->verify(zone_key_id_, rec.canonical_bytes(),
+                            rec.signature)) {
+        bad = true;
+        why = "bad-signature";
+      }
+    } else if (require_signed_.contains(rec.name)) {
+      bad = true;
+      why = "unsigned answer for a signed zone";
+    } else if (const auto pin = pins_.find(rec.name); pin != pins_.end()) {
+      if (pin->second != rec.addr) {
+        bad = true;
+        why = "pin-mismatch got=" + rec.addr.to_string() +
+              " expected=" + pin->second.to_string();
+      }
+    }
+    if (bad) {
+      ctx.report(name_, "dns-forgery", "name=" + rec.name + " " + why);
+      if (mode_ == EnforcementMode::kBlock) {
+        ++blocked_;
+        return Verdict::kDrop;
+      }
+    }
+  }
+  return Verdict::kForward;
+}
+
+// --- PiiDetector ------------------------------------------------------------
+
+PiiDetector::PiiDetector(std::vector<std::string> patterns, PiiAction action)
+    : patterns_(std::move(patterns)), action_(action) {}
+
+Middlebox::Verdict PiiDetector::process(Packet& pkt, MboxContext& ctx) {
+  if (pkt.l4.empty()) return Verdict::kForward;
+  // Scan the transport payload only (skip the L4 header bytes).
+  std::size_t header = 0;
+  if (pkt.ip.proto == IpProto::kTcp) header = TcpHeader::kWireSize;
+  if (pkt.ip.proto == IpProto::kUdp) header = UdpHeader::kWireSize;
+  if (pkt.l4.size() <= header) return Verdict::kForward;
+
+  bool found_any = false;
+  for (const std::string& pattern : patterns_) {
+    const Bytes needle = to_bytes(pattern);
+    auto it = std::search(pkt.l4.begin() + static_cast<std::ptrdiff_t>(header),
+                          pkt.l4.end(), needle.begin(), needle.end());
+    while (it != pkt.l4.end()) {
+      found_any = true;
+      ++leaks_;
+      ctx.report(name_, "pii-leak",
+                 "pattern=" + pattern + " dst=" + pkt.ip.dst.to_string());
+      if (action_ == PiiAction::kScrub) {
+        std::fill(it, it + static_cast<std::ptrdiff_t>(needle.size()),
+                  std::uint8_t('x'));
+      }
+      it = std::search(it + 1, pkt.l4.end(), needle.begin(), needle.end());
+    }
+  }
+  if (found_any && action_ == PiiAction::kBlock) return Verdict::kDrop;
+  return Verdict::kForward;
+}
+
+// --- TrackerBlocker -----------------------------------------------------------
+
+TrackerBlocker::TrackerBlocker(std::set<Ipv4Addr> tracker_addrs)
+    : trackers_(std::move(tracker_addrs)) {}
+
+Middlebox::Verdict TrackerBlocker::process(Packet& pkt, MboxContext& ctx) {
+  if (!trackers_.contains(pkt.ip.dst)) return Verdict::kForward;
+  ++blocked_;
+  ctx.report(name_, "tracker-blocked", "dst=" + pkt.ip.dst.to_string());
+  return Verdict::kDrop;
+}
+
+// --- MalwareDetector ------------------------------------------------------------
+
+MalwareDetector::MalwareDetector(std::vector<Bytes> signatures,
+                                 EnforcementMode mode)
+    : signatures_(std::move(signatures)), mode_(mode) {}
+
+Middlebox::Verdict MalwareDetector::process(Packet& pkt, MboxContext& ctx) {
+  for (const Bytes& sig : signatures_) {
+    if (payload_contains(pkt.l4, sig)) {
+      ++detections_;
+      ctx.report(name_, "malware",
+                 "signature-hit src=" + pkt.ip.src.to_string());
+      if (mode_ == EnforcementMode::kBlock) return Verdict::kDrop;
+    }
+  }
+  return Verdict::kForward;
+}
+
+// --- ReplicaSelector ---------------------------------------------------------------
+
+ReplicaSelector::ReplicaSelector(std::map<std::string, Service> services,
+                                 std::map<Ipv4Addr, SimDuration> rtt_of)
+    : services_(std::move(services)), rtt_(std::move(rtt_of)) {}
+
+Ipv4Addr ReplicaSelector::best_replica(const std::string& service_name) const {
+  const auto it = services_.find(service_name);
+  if (it == services_.end() || it->second.replicas.empty()) return {};
+  Ipv4Addr best = it->second.replicas.front();
+  SimDuration best_rtt = kSecond * 3600;
+  for (const Ipv4Addr replica : it->second.replicas) {
+    const auto rt = rtt_.find(replica);
+    const SimDuration rtt = rt == rtt_.end() ? kSecond * 3600 : rt->second;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = replica;
+    }
+  }
+  return best;
+}
+
+Middlebox::Verdict ReplicaSelector::process(Packet& pkt, MboxContext& ctx) {
+  if (pkt.ip.proto != IpProto::kUdp) return Verdict::kForward;
+  const auto dg = parse_udp(pkt.l4);
+  if (!dg || dg->hdr.src_port != kDnsPort) return Verdict::kForward;
+  auto msg = DnsMessage::decode(dg->payload);
+  if (!msg || !msg->response) return Verdict::kForward;
+
+  bool rewritten = false;
+  for (DnsRecord& rec : msg->answers) {
+    if (rec.signed_record) continue;  // cannot rewrite without breaking sigs
+    const auto it = services_.find(rec.name);
+    if (it == services_.end()) continue;
+    const Ipv4Addr best = best_replica(rec.name);
+    if (best.is_unspecified() || best == rec.addr) continue;
+    ctx.report(name_, "replica-rewrite",
+               "name=" + rec.name + " " + rec.addr.to_string() + " -> " +
+                   best.to_string());
+    rec.addr = best;
+    rewritten = true;
+    ++rewrites_;
+  }
+  if (rewritten) {
+    pkt.l4 = serialize_udp(dg->hdr, msg->encode());
+  }
+  return Verdict::kForward;
+}
+
+// --- Classifier -----------------------------------------------------------------
+
+Classifier::Classifier(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+Middlebox::Verdict Classifier::process(Packet& pkt, MboxContext& ctx) {
+  (void)ctx;
+  const FlowKey key = FlowKey::of(pkt);
+  // Already classified (either direction)?
+  if (const auto it = flow_class_.find(key); it != flow_class_.end()) {
+    pkt.ip.tos = it->second;
+    return Verdict::kForward;
+  }
+  if (const auto it = flow_class_.find(key.reversed());
+      it != flow_class_.end()) {
+    pkt.ip.tos = it->second;
+    return Verdict::kForward;
+  }
+  for (const Rule& rule : rules_) {
+    if (payload_contains(pkt.l4, rule.substring)) {
+      flow_class_[key] = rule.tos;
+      ++classified_;
+      pkt.ip.tos = rule.tos;
+      break;
+    }
+  }
+  return Verdict::kForward;
+}
+
+}  // namespace pvn

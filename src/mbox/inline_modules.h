@@ -1,0 +1,219 @@
+// Inline middlebox modules — the paper's §4 "PVN-enabled functionality":
+//   TlsValidator   — HTTPS/TLS Enhancements (validates chains the app won't)
+//   DnsValidator   — DNS Validation (DNSSEC-lite + pinning)
+//   PiiDetector    — Detecting and Blocking PII (ReCon-style)
+//   TrackerBlocker — tracker/ad blocking by destination
+//   MalwareDetector— signature-based malware blocking
+//   Classifier     — content classification feeding per-class policies
+//                    (Fig. 1a: web vs video/image)
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "mbox/middlebox.h"
+#include "proto/dns.h"
+#include "proto/tls.h"
+
+namespace pvn {
+
+enum class EnforcementMode { kWarn, kBlock };
+
+// --- TlsValidator -----------------------------------------------------------
+
+// Reassembles TLS handshakes from TCP flows on the configured port and
+// validates the server certificate chain against the device's trust store.
+// On failure in kBlock mode it drops the ServerHello and injects RSTs at
+// both endpoints, killing the connection before any data leaks.
+class TlsValidator : public Middlebox {
+ public:
+  TlsValidator(const TrustStore& trust, EnforcementMode mode,
+               Port tls_port = 443);
+
+  const std::string& name() const override { return name_; }
+  Verdict process(Packet& pkt, MboxContext& ctx) override;
+  SimDuration extra_delay() const override { return microseconds(20); }
+
+  std::uint64_t handshakes_checked() const { return checked_; }
+  std::uint64_t handshakes_blocked() const { return blocked_; }
+
+ private:
+  struct FlowState {
+    std::uint32_t next_seq = 0;
+    bool synced = false;
+    bool gave_up = false;
+    Bytes buffer;  // contiguous in-order stream bytes not yet framed
+    std::string sni;  // client->server direction only
+    bool verdict_done = false;
+  };
+
+  FlowState& state_for(const FlowKey& key);
+  Verdict on_record(const FlowKey& key, FlowState& st, const TlsRecord& rec,
+                    Packet& pkt, MboxContext& ctx);
+  void inject_rsts(const Packet& server_hello_pkt, MboxContext& ctx);
+
+  std::string name_ = "tls-validator";
+  const TrustStore* trust_;
+  EnforcementMode mode_;
+  Port tls_port_;
+  std::map<FlowKey, FlowState> flows_;
+  std::map<FlowKey, std::string> sni_by_server_flow_;
+  std::uint64_t checked_ = 0;
+  std::uint64_t blocked_ = 0;
+  bool pending_drop_ = false;
+};
+
+// --- DnsValidator -----------------------------------------------------------
+
+class DnsValidator : public Middlebox {
+ public:
+  // `trusted_zone_keys`/`zone_key_id`: DNSSEC-lite validation.
+  // `pins`: name -> expected address, models cross-checking open resolvers.
+  // `require_signed`: names that must carry a valid signature (an unsigned
+  // answer for them is treated as forged — the DNSSEC expectation).
+  DnsValidator(const KeyRegistry* trusted_zone_keys, PublicKey zone_key_id,
+               std::map<std::string, Ipv4Addr> pins, EnforcementMode mode,
+               std::set<std::string> require_signed = {});
+
+  const std::string& name() const override { return name_; }
+  Verdict process(Packet& pkt, MboxContext& ctx) override;
+  SimDuration extra_delay() const override { return microseconds(10); }
+
+  std::uint64_t responses_checked() const { return checked_; }
+  std::uint64_t responses_blocked() const { return blocked_; }
+
+ private:
+  std::string name_ = "dns-validator";
+  const KeyRegistry* trusted_;
+  PublicKey zone_key_id_;
+  std::map<std::string, Ipv4Addr> pins_;
+  EnforcementMode mode_;
+  std::set<std::string> require_signed_;
+  std::uint64_t checked_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+// --- PiiDetector ------------------------------------------------------------
+
+enum class PiiAction { kMonitor, kBlock, kScrub };
+
+class PiiDetector : public Middlebox {
+ public:
+  PiiDetector(std::vector<std::string> patterns, PiiAction action);
+
+  const std::string& name() const override { return name_; }
+  Verdict process(Packet& pkt, MboxContext& ctx) override;
+  // PII scanning is the costliest inline module (string search over payload).
+  SimDuration extra_delay() const override { return microseconds(35); }
+
+  std::uint64_t leaks_found() const { return leaks_; }
+
+ private:
+  std::string name_ = "pii-detector";
+  std::vector<std::string> patterns_;
+  PiiAction action_;
+  std::uint64_t leaks_ = 0;
+};
+
+// --- TrackerBlocker -----------------------------------------------------------
+
+class TrackerBlocker : public Middlebox {
+ public:
+  explicit TrackerBlocker(std::set<Ipv4Addr> tracker_addrs);
+
+  const std::string& name() const override { return name_; }
+  Verdict process(Packet& pkt, MboxContext& ctx) override;
+
+  std::uint64_t blocked() const { return blocked_; }
+
+ private:
+  std::string name_ = "tracker-blocker";
+  std::set<Ipv4Addr> trackers_;
+  std::uint64_t blocked_ = 0;
+};
+
+// --- MalwareDetector ------------------------------------------------------------
+
+class MalwareDetector : public Middlebox {
+ public:
+  MalwareDetector(std::vector<Bytes> signatures, EnforcementMode mode);
+
+  const std::string& name() const override { return name_; }
+  Verdict process(Packet& pkt, MboxContext& ctx) override;
+  SimDuration extra_delay() const override { return microseconds(25); }
+
+  std::uint64_t detections() const { return detections_; }
+
+ private:
+  std::string name_ = "malware-detector";
+  std::vector<Bytes> signatures_;
+  EnforcementMode mode_;
+  std::uint64_t detections_ = 0;
+};
+
+// --- Classifier -----------------------------------------------------------------
+
+// Stateful content classifier: watches HTTP response headers and request
+// paths; once a flow is classified, every subsequent packet of that flow
+// (both directions) is marked with the class's DSCP value, which later
+// tables/meters match on (Fig. 1a).
+class Classifier : public Middlebox {
+ public:
+  struct Rule {
+    std::string substring;  // matched against payload text
+    std::uint8_t tos;
+  };
+
+  explicit Classifier(std::vector<Rule> rules);
+
+  const std::string& name() const override { return name_; }
+  Verdict process(Packet& pkt, MboxContext& ctx) override;
+
+  std::uint64_t flows_classified() const { return classified_; }
+
+ private:
+  std::string name_ = "classifier";
+  std::vector<Rule> rules_;
+  std::map<FlowKey, std::uint8_t> flow_class_;
+  std::uint64_t classified_ = 0;
+};
+
+// --- ReplicaSelector ---------------------------------------------------------------
+
+// Client-assisted replica selection (paper §4 "Other applications"): the
+// middlebox rewrites unsigned DNS answers for replicated services to the
+// replica with the lowest measured RTT from this access network. Signed
+// answers are never touched (a rewrite would break the signature — those
+// services must do replica selection themselves).
+class ReplicaSelector : public Middlebox {
+ public:
+  struct Service {
+    std::vector<Ipv4Addr> replicas;
+  };
+
+  // `rtt_of`: the network's RTT estimates per replica (fed by the same
+  // probing machinery as the remote-PVN locator).
+  ReplicaSelector(std::map<std::string, Service> services,
+                  std::map<Ipv4Addr, SimDuration> rtt_of);
+
+  const std::string& name() const override { return name_; }
+  Verdict process(Packet& pkt, MboxContext& ctx) override;
+  SimDuration extra_delay() const override { return microseconds(15); }
+
+  std::uint64_t rewrites() const { return rewrites_; }
+
+  // Exposed for tests: the replica this selector would pick for a service.
+  Ipv4Addr best_replica(const std::string& service_name) const;
+
+ private:
+  std::string name_ = "replica-selector";
+  std::map<std::string, Service> services_;
+  std::map<Ipv4Addr, SimDuration> rtt_;
+  std::uint64_t rewrites_ = 0;
+};
+
+// Payload substring search helper shared by the DPI modules.
+bool payload_contains(const Bytes& haystack, const std::string& needle);
+bool payload_contains(const Bytes& haystack, const Bytes& needle);
+
+}  // namespace pvn

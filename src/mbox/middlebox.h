@@ -1,0 +1,79 @@
+// Software middleboxes: the paper's in-network execution environment.
+//
+// Two families:
+//   * inline modules (this interface): per-packet inspection/modification in
+//     a Chain diverted from the SDN switch (validators, detectors,
+//     classifiers). They never change payload sizes, so TCP flows pass
+//     through untouched unless a module drops/injects packets.
+//   * TCP-terminating proxies (mbox/proxies.h): split-TCP, transcoding,
+//     prefetching — full Hosts that re-originate connections.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/packet.h"
+#include "proto/l4.h"
+#include "util/sim.h"
+
+namespace pvn {
+
+// A security/policy event a module wants the device owner to see.
+struct MboxFinding {
+  SimTime at = 0;
+  std::string module;
+  std::string kind;    // e.g. "tls-invalid-cert", "pii-leak", "malware"
+  std::string detail;
+};
+
+// Per-flow key for stateful modules.
+struct FlowKey {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  IpProto proto = IpProto::kTcp;
+  Port src_port = 0;
+  Port dst_port = 0;
+
+  static FlowKey of(const Packet& pkt);
+  // The same flow viewed from the opposite direction.
+  FlowKey reversed() const;
+  auto operator<=>(const FlowKey&) const = default;
+};
+
+struct MboxContext {
+  SimTime now = 0;
+  std::vector<MboxFinding>* findings = nullptr;
+  // Packets a module wants to originate (e.g. an injected RST). They are
+  // sent out of the switch via the chain's normal continuation.
+  std::vector<Packet>* injected = nullptr;
+
+  void report(const std::string& module, const std::string& kind,
+              const std::string& detail) const {
+    if (findings != nullptr) {
+      findings->push_back(MboxFinding{now, module, kind, detail});
+    }
+  }
+};
+
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+
+  virtual const std::string& name() const = 0;
+
+  enum class Verdict { kForward, kDrop };
+
+  // Inspect (and possibly mutate) the packet. kDrop removes it from the
+  // network; injected packets in ctx are forwarded regardless.
+  virtual Verdict process(Packet& pkt, MboxContext& ctx) = 0;
+
+  // Extra per-packet processing cost beyond the chain's base cost.
+  virtual SimDuration extra_delay() const { return 0; }
+
+  std::uint64_t packets_seen = 0;
+  std::uint64_t packets_dropped = 0;
+};
+
+}  // namespace pvn

@@ -1,0 +1,145 @@
+#include "mbox/registry.h"
+
+#include "mbox/inline_modules.h"
+#include "proto/tls.h"
+
+namespace pvn {
+
+void PvnStore::publish(ModuleInfo info, ModuleFactory factory) {
+  const std::string name = info.name;
+  entries_[name] = Entry{std::move(info), std::move(factory)};
+}
+
+const ModuleInfo* PvnStore::info(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second.info;
+}
+
+std::vector<ModuleInfo> PvnStore::catalog() const {
+  std::vector<ModuleInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+std::unique_ptr<Middlebox> PvnStore::make(
+    const std::string& name,
+    const std::map<std::string, std::string>& params) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  return it->second.factory(params);
+}
+
+double PvnStore::price_of(const std::vector<std::string>& modules) const {
+  double total = 0.0;
+  for (const std::string& m : modules) {
+    if (const ModuleInfo* mi = info(m)) total += mi->price_per_deploy;
+  }
+  return total;
+}
+
+namespace {
+
+EnforcementMode mode_from(const std::map<std::string, std::string>& params) {
+  const auto it = params.find("mode");
+  if (it != params.end() && it->second == "warn") return EnforcementMode::kWarn;
+  return EnforcementMode::kBlock;
+}
+
+}  // namespace
+
+PvnStore make_standard_store(const StoreEnvironment& env) {
+  PvnStore store;
+
+  if (env.tls_trust != nullptr) {
+    const TrustStore* trust = env.tls_trust;
+    store.publish(
+        ModuleInfo{"tls-validator", "nu-systems",
+                   "Validates server certificate chains; blocks MITM",
+                   0.50, 6 * 1024 * 1024, microseconds(65)},
+        [trust](const std::map<std::string, std::string>& params) {
+          return std::make_unique<TlsValidator>(*trust, mode_from(params));
+        });
+  }
+
+  store.publish(
+      ModuleInfo{"dns-validator", "nu-systems",
+                 "DNSSEC-lite validation + resolver pinning", 0.25,
+                 6 * 1024 * 1024, microseconds(55)},
+      [keys = env.dns_zone_keys, id = env.dns_zone_key_id, pins = env.dns_pins,
+       required = env.dns_require_signed](
+          const std::map<std::string, std::string>& params) {
+        return std::make_unique<DnsValidator>(keys, id, pins,
+                                              mode_from(params), required);
+      });
+
+  store.publish(
+      ModuleInfo{"pii-detector", "recon-labs",
+                 "Detects and blocks/scrubs PII in outbound traffic", 1.00,
+                 6 * 1024 * 1024, microseconds(80)},
+      [patterns = env.pii_patterns](
+          const std::map<std::string, std::string>& params) {
+        PiiAction action = PiiAction::kBlock;
+        if (const auto it = params.find("action"); it != params.end()) {
+          if (it->second == "monitor") action = PiiAction::kMonitor;
+          if (it->second == "scrub") action = PiiAction::kScrub;
+        }
+        return std::make_unique<PiiDetector>(patterns, action);
+      });
+
+  store.publish(
+      ModuleInfo{"tracker-blocker", "privacy-coop",
+                 "Drops traffic to known trackers", 0.10, 6 * 1024 * 1024,
+                 microseconds(45)},
+      [trackers = env.tracker_addrs](const std::map<std::string, std::string>&) {
+        return std::make_unique<TrackerBlocker>(trackers);
+      });
+
+  store.publish(
+      ModuleInfo{"malware-detector", "nu-systems",
+                 "Signature-based malware blocking", 0.75, 6 * 1024 * 1024,
+                 microseconds(70)},
+      [sigs = env.malware_signatures](
+          const std::map<std::string, std::string>& params) {
+        return std::make_unique<MalwareDetector>(sigs, mode_from(params));
+      });
+
+  if (!env.replica_services.empty()) {
+    std::map<std::string, ReplicaSelector::Service> services;
+    for (const auto& [name, replicas] : env.replica_services) {
+      services[name] = ReplicaSelector::Service{replicas};
+    }
+    store.publish(
+        ModuleInfo{"replica-selector", "cdn-coop",
+                   "Steers replicated services to the nearest replica", 0.30,
+                   6 * 1024 * 1024, microseconds(60)},
+        [services, rtt = env.replica_rtt](
+            const std::map<std::string, std::string>&) {
+          return std::make_unique<ReplicaSelector>(services, rtt);
+        });
+  }
+
+  store.publish(
+      ModuleInfo{"classifier", "nu-systems",
+                 "Marks flows by content class (web/video/image)", 0.05,
+                 6 * 1024 * 1024, microseconds(45)},
+      [](const std::map<std::string, std::string>& params) {
+        std::vector<Classifier::Rule> rules;
+        // Defaults match the Fig. 1a example.
+        rules.push_back({"Content-Type: video", 0x20});
+        rules.push_back({"Content-Type: image", 0x20});
+        rules.push_back({"Content-Type: text", 0x10});
+        if (const auto it = params.find("video_tos"); it != params.end()) {
+          rules[0].tos = static_cast<std::uint8_t>(std::stoi(it->second));
+          rules[1].tos = rules[0].tos;
+        }
+        if (const auto it = params.find("web_tos"); it != params.end()) {
+          rules[2].tos = static_cast<std::uint8_t>(std::stoi(it->second));
+        }
+        return std::make_unique<Classifier>(std::move(rules));
+      });
+
+  return store;
+}
+
+}  // namespace pvn

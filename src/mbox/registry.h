@@ -1,0 +1,75 @@
+// The "PVN Store" (paper §3.1): a marketplace of middlebox modules with
+// prices, publishers, and resource estimates. PVNCs reference modules by
+// store name; the deployment compiler instantiates them via the factory.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mbox/middlebox.h"
+#include "util/digest.h"
+
+namespace pvn {
+
+struct ModuleInfo {
+  std::string name;
+  std::string publisher;
+  std::string description;
+  double price_per_deploy = 0.0;  // what the network charges per deployment
+  std::int64_t est_memory_bytes = 6 * 1024 * 1024;
+  SimDuration est_per_packet_delay = microseconds(45);
+};
+
+// Factory producing a fresh instance per deployment; parameters come from
+// the PVNC text (opaque key=value strings the factory interprets).
+using ModuleFactory = std::function<std::unique_ptr<Middlebox>(
+    const std::map<std::string, std::string>& params)>;
+
+class PvnStore {
+ public:
+  void publish(ModuleInfo info, ModuleFactory factory);
+  bool has(const std::string& name) const { return entries_.contains(name); }
+  const ModuleInfo* info(const std::string& name) const;
+  std::vector<ModuleInfo> catalog() const;
+
+  // Instantiates a module; nullptr if unknown.
+  std::unique_ptr<Middlebox> make(
+      const std::string& name,
+      const std::map<std::string, std::string>& params) const;
+
+  double price_of(const std::vector<std::string>& modules) const;
+
+ private:
+  struct Entry {
+    ModuleInfo info;
+    ModuleFactory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+// Builds a store stocked with the standard modules used across the
+// experiments (validators, detectors, classifier). Middleboxes that need
+// runtime context (trust stores, zone keys) read it from `env`.
+struct StoreEnvironment {
+  const struct TrustStore* tls_trust = nullptr;
+  const KeyRegistry* dns_zone_keys = nullptr;
+  PublicKey dns_zone_key_id;
+  std::map<std::string, Ipv4Addr> dns_pins;
+  std::set<std::string> dns_require_signed;
+  std::set<Ipv4Addr> tracker_addrs;
+  std::vector<std::string> pii_patterns;
+  std::vector<Bytes> malware_signatures;
+  // Replica selection: service name -> candidate replicas, plus the access
+  // network's RTT estimates per replica.
+  std::map<std::string, std::vector<Ipv4Addr>> replica_services;
+  std::map<Ipv4Addr, SimDuration> replica_rtt;
+};
+
+PvnStore make_standard_store(const StoreEnvironment& env);
+
+}  // namespace pvn

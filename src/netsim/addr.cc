@@ -1,0 +1,67 @@
+#include "netsim/addr.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace pvn {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  std::uint32_t out = 0;
+  int octets = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  while (octets < 4) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc() || value > 255) return std::nullopt;
+    out = (out << 8) | value;
+    ++octets;
+    p = next;
+    if (octets < 4) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr(out);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 0xFF,
+                (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF);
+  return buf;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view cidr) {
+  const auto slash = cidr.find('/');
+  if (slash == std::string_view::npos) {
+    auto addr = Ipv4Addr::parse(cidr);
+    if (!addr) return std::nullopt;
+    return Prefix{*addr, 32};
+  }
+  auto addr = Ipv4Addr::parse(cidr.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  const auto rest = cidr.substr(slash + 1);
+  auto [next, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), len);
+  if (ec != std::errc() || next != rest.data() + rest.size() || len < 0 ||
+      len > 32) {
+    return std::nullopt;
+  }
+  return Prefix{*addr, len};
+}
+
+bool Prefix::contains(Ipv4Addr ip) const {
+  if (len <= 0) return true;
+  const std::uint32_t mask =
+      len >= 32 ? 0xFFFFFFFFu : ~((1u << (32 - len)) - 1);
+  return (ip.v & mask) == (addr.v & mask);
+}
+
+std::string Prefix::to_string() const {
+  return addr.to_string() + "/" + std::to_string(len);
+}
+
+}  // namespace pvn

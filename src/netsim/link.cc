@@ -1,0 +1,91 @@
+#include "netsim/link.h"
+
+#include <cassert>
+
+#include "netsim/network.h"
+#include "netsim/node.h"
+
+namespace pvn {
+
+Link::Link(Network& net, Node& a, Node& b, LinkParams params)
+    : net_(&net),
+      a_(&a),
+      b_(&b),
+      port_a_(a.attach_link(this)),
+      port_b_(b.attach_link(this)),
+      params_(params),
+      rng_(net.rng().fork()) {
+  ab_.to = b_;
+  ab_.to_port = port_b_;
+  ba_.to = a_;
+  ba_.to_port = port_a_;
+}
+
+Node& Link::peer_of(const Node& n) const {
+  return &n == a_ ? *b_ : *a_;
+}
+
+int Link::port_at(const Node& n) const {
+  return &n == a_ ? port_a_ : port_b_;
+}
+
+Link::Direction& Link::direction_from(const Node& from) {
+  assert(&from == a_ || &from == b_);
+  return &from == a_ ? ab_ : ba_;
+}
+
+const LinkStats& Link::stats_from(const Node& n) const {
+  return &n == a_ ? ab_.stats : ba_.stats;
+}
+
+void Link::transmit(const Node& from, Packet pkt) {
+  Direction& dir = direction_from(from);
+  const std::int64_t sz = static_cast<std::int64_t>(pkt.size());
+
+  // DropTail: the queue models bytes waiting for the serializer. If the
+  // link is idle the packet starts serializing immediately and does not
+  // count against the queue bound.
+  Simulator& sim = net_->sim();
+  const SimTime now = sim.now();
+  if (dir.busy_until > now) {
+    if (dir.queued_bytes + sz > params_.queue_bytes) {
+      ++dir.stats.queue_drops;
+      return;
+    }
+    dir.queued_bytes += sz;
+  }
+  start_transmit(dir, std::move(pkt));
+}
+
+void Link::start_transmit(Direction& dir, Packet pkt) {
+  Simulator& sim = net_->sim();
+  const SimTime now = sim.now();
+  const SimTime start = dir.busy_until > now ? dir.busy_until : now;
+  const SimDuration serialize = params_.rate.transmit_time(
+      static_cast<std::int64_t>(pkt.size()));
+  dir.busy_until = start + serialize;
+  const SimTime arrive = dir.busy_until + params_.latency;
+
+  ++dir.stats.tx_packets;
+  dir.stats.tx_bytes += pkt.size();
+
+  const std::int64_t sz = static_cast<std::int64_t>(pkt.size());
+  const bool lost = rng_.bernoulli(params_.loss);
+  if (lost) ++dir.stats.loss_drops;
+
+  Direction* dptr = &dir;
+  Node* from = (dptr == &ab_) ? a_ : b_;
+  if (start > now) {
+    // Queue occupancy drops once the packet has fully serialized.
+    sim.schedule_at(dir.busy_until, [dptr, sz] { dptr->queued_bytes -= sz; });
+  }
+  sim.schedule_at(arrive, [this, dptr, pkt = std::move(pkt), lost,
+                           from]() mutable {
+    if (lost) return;
+    ++dptr->stats.delivered_packets;
+    if (tap_) tap_(pkt, *from, *dptr->to);
+    dptr->to->handle_packet(std::move(pkt), dptr->to_port);
+  });
+}
+
+}  // namespace pvn

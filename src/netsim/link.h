@@ -1,0 +1,79 @@
+// Full-duplex point-to-point link with bandwidth, propagation delay, random
+// loss, and a DropTail byte-bounded queue per direction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "netsim/packet.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace pvn {
+
+class Node;
+class Network;
+
+struct LinkParams {
+  Rate rate = Rate::mbps(100);
+  SimDuration latency = milliseconds(1);
+  double loss = 0.0;              // independent per-packet drop probability
+  std::int64_t queue_bytes = 256 * 1024;  // per-direction DropTail capacity
+};
+
+struct LinkStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t loss_drops = 0;
+};
+
+class Link {
+ public:
+  // Observes every packet the link delivers (after loss), per direction.
+  // Used by trace collectors and by on-path attackers in audit tests.
+  using Tap = std::function<void(const Packet&, const Node& from, const Node& to)>;
+
+  Link(Network& net, Node& a, Node& b, LinkParams params);
+
+  const LinkParams& params() const { return params_; }
+  // Runtime reconfiguration (e.g. degrading a link mid-experiment).
+  void set_loss(double loss) { params_.loss = loss; }
+  void set_latency(SimDuration latency) { params_.latency = latency; }
+
+  Node& peer_of(const Node& n) const;
+  int port_at(const Node& n) const;
+
+  // Called by Node::send. Direction is inferred from `from`.
+  void transmit(const Node& from, Packet pkt);
+
+  const LinkStats& stats_from(const Node& n) const;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+ private:
+  struct Direction {
+    Node* to = nullptr;
+    int to_port = 0;
+    SimTime busy_until = 0;
+    std::int64_t queued_bytes = 0;
+    LinkStats stats;
+  };
+
+  Direction& direction_from(const Node& from);
+  void start_transmit(Direction& dir, Packet pkt);
+
+  Network* net_;
+  Node* a_;
+  Node* b_;
+  int port_a_;
+  int port_b_;
+  LinkParams params_;
+  Direction ab_;  // a_ -> b_
+  Direction ba_;  // b_ -> a_
+  Rng rng_;
+  Tap tap_;
+};
+
+}  // namespace pvn

@@ -1,0 +1,33 @@
+#include "netsim/node.h"
+
+#include "netsim/link.h"
+#include "netsim/network.h"
+
+namespace pvn {
+
+Node::Node(Network& net, std::string name)
+    : net_(&net), name_(std::move(name)), log_(name_) {}
+
+Simulator& Node::sim() { return net_->sim(); }
+
+Link* Node::port_link(int port) const {
+  if (port < 0 || port >= static_cast<int>(ports_.size())) return nullptr;
+  return ports_[static_cast<std::size_t>(port)];
+}
+
+void Node::send(int port, Packet pkt) {
+  Link* link = port_link(port);
+  if (link == nullptr) {
+    ++unwired_drops_;
+    return;
+  }
+  pkt.hop_trace.push_back(name_);
+  link->transmit(*this, std::move(pkt));
+}
+
+int Node::attach_link(Link* link) {
+  ports_.push_back(link);
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+}  // namespace pvn

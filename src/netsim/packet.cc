@@ -1,0 +1,48 @@
+#include "netsim/packet.h"
+
+#include "util/digest.h"
+
+namespace pvn {
+
+const char* to_string(IpProto proto) {
+  switch (proto) {
+    case IpProto::kIcmp: return "icmp";
+    case IpProto::kTcp: return "tcp";
+    case IpProto::kUdp: return "udp";
+    case IpProto::kEsp: return "esp";
+  }
+  return "?";
+}
+
+void IpHeader::encode(ByteWriter& w) const {
+  w.u32(src.v);
+  w.u32(dst.v);
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u8(ttl);
+  w.u8(tos);
+  // Pad to the nominal 20-byte IPv4 header size.
+  for (int i = 0; i < 9; ++i) w.u8(0);
+}
+
+IpHeader IpHeader::decode(ByteReader& r) {
+  IpHeader h;
+  h.src = Ipv4Addr(r.u32());
+  h.dst = Ipv4Addr(r.u32());
+  h.proto = static_cast<IpProto>(r.u8());
+  h.ttl = r.u8();
+  h.tos = r.u8();
+  r.raw(9);
+  return h;
+}
+
+std::uint64_t Packet::flow_hash() const {
+  ByteWriter w;
+  w.u32(ip.src.v);
+  w.u32(ip.dst.v);
+  w.u8(static_cast<std::uint8_t>(ip.proto));
+  const std::size_t n = l4.size() < 8 ? l4.size() : 8;
+  w.raw(std::span<const std::uint8_t>(l4.data(), n));
+  return digest_of(w.bytes()).lanes[0];
+}
+
+}  // namespace pvn

@@ -1,0 +1,60 @@
+// The unit of transmission in the simulator.
+//
+// A Packet carries an IPv4-lite header plus an opaque serialized L4 payload
+// (TCP segment, UDP datagram, or ESP tunnel frame — see src/proto and
+// src/tunnel for the codecs). Simulation-only instrumentation (creation time,
+// traversed-node trace) rides along out-of-band; it is *not* visible to
+// protocol logic and exists so tests and the auditor benches can compare
+// detector output against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/addr.h"
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace pvn {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kEsp = 50,
+};
+
+const char* to_string(IpProto proto);
+
+struct IpHeader {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  IpProto proto = IpProto::kUdp;
+  std::uint8_t ttl = 64;
+  std::uint8_t tos = 0;  // DSCP-style class; meters/classifiers may set it
+
+  static constexpr std::size_t kWireSize = 20;
+
+  void encode(ByteWriter& w) const;
+  static IpHeader decode(ByteReader& r);
+  bool operator==(const IpHeader&) const = default;
+};
+
+struct Packet {
+  std::uint64_t id = 0;  // unique per Network, assigned at creation
+  IpHeader ip;
+  Bytes l4;  // serialized transport segment (header + payload)
+
+  // --- simulation instrumentation (not on the wire) ---
+  SimTime created_at = 0;
+  std::vector<std::string> hop_trace;  // node names traversed (ground truth)
+
+  std::size_t size() const { return IpHeader::kWireSize + l4.size(); }
+
+  // Stable 5-tuple-ish hash used by ECMP-style choices and flow counters.
+  // L4 ports are not parsed here; uses src/dst/proto plus a prefix of l4.
+  std::uint64_t flow_hash() const;
+};
+
+}  // namespace pvn

@@ -1,0 +1,57 @@
+#include "netsim/router.h"
+
+#include <algorithm>
+
+namespace pvn {
+
+Router::Router(Network& net, std::string name) : Node(net, std::move(name)) {}
+
+void Router::add_route(Prefix prefix, int port) {
+  routes_.push_back(Entry{prefix, port});
+  // Keep longest prefixes first so route_for can take the first hit.
+  std::stable_sort(routes_.begin(), routes_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.prefix.len > b.prefix.len;
+                   });
+}
+
+bool Router::remove_route(const Prefix& prefix) {
+  const auto it = std::find_if(
+      routes_.begin(), routes_.end(),
+      [&](const Entry& e) { return e.prefix == prefix; });
+  if (it == routes_.end()) return false;
+  routes_.erase(it);
+  return true;
+}
+
+int Router::route_for(Ipv4Addr dst) const {
+  for (const Entry& e : routes_) {
+    if (e.prefix.contains(dst)) return e.port;
+  }
+  return -1;
+}
+
+void Router::add_anycast_port(int port) { anycast_ports_.push_back(port); }
+
+void Router::handle_packet(Packet pkt, int in_port) {
+  if (pkt.ip.ttl == 0) {
+    ++ttl_drops_;
+    return;
+  }
+  pkt.ip.ttl -= 1;
+  if (pkt.ip.dst == kPvnAnycast) {
+    for (const int port : anycast_ports_) {
+      if (port == in_port) continue;
+      send(port, pkt);  // replicate the flood
+    }
+    return;
+  }
+  const int out = route_for(pkt.ip.dst);
+  if (out < 0) {
+    ++no_route_drops_;
+    return;
+  }
+  send(out, std::move(pkt));
+}
+
+}  // namespace pvn

@@ -1,0 +1,49 @@
+// Classic longest-prefix-match IP router.
+//
+// Used for the non-SDN parts of topologies (wide-area paths, cloud
+// backbones). The access-network dataplane that PVNs program is the SDN
+// Switch in src/sdn; Router is the dumb substrate around it.
+#pragma once
+
+#include <vector>
+
+#include "netsim/network.h"
+#include "netsim/node.h"
+
+namespace pvn {
+
+class Router : public Node {
+ public:
+  Router(Network& net, std::string name);
+
+  // Adds a route: packets matching `prefix` leave via `port`.
+  void add_route(Prefix prefix, int port);
+  bool remove_route(const Prefix& prefix);
+
+  // Limited anycast flooding (paper §3.1: discovery "can span multiple
+  // providers using limited flooding, e.g., via special anycast
+  // addresses"). Packets addressed to kPvnAnycast are replicated out every
+  // registered anycast port except the one they arrived on; TTL bounds the
+  // flood radius.
+  void add_anycast_port(int port);
+
+  // Longest-prefix match; returns -1 if no route.
+  int route_for(Ipv4Addr dst) const;
+
+  void handle_packet(Packet pkt, int in_port) override;
+
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+  std::uint64_t ttl_drops() const { return ttl_drops_; }
+
+ private:
+  struct Entry {
+    Prefix prefix;
+    int port;
+  };
+  std::vector<Entry> routes_;
+  std::vector<int> anycast_ports_;
+  std::uint64_t no_route_drops_ = 0;
+  std::uint64_t ttl_drops_ = 0;
+};
+
+}  // namespace pvn

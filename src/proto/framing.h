@@ -1,0 +1,51 @@
+// Length-prefixed message framing over a TCP byte stream.
+//
+// TLS records, HTTP-lite messages, and PVN control messages are framed as
+// u32-length-prefixed blobs. StreamFramer reassembles complete frames from
+// arbitrary stream chunk boundaries.
+#pragma once
+
+#include <functional>
+
+#include "util/bytes.h"
+
+namespace pvn {
+
+class StreamFramer {
+ public:
+  using FrameHandler = std::function<void(Bytes frame)>;
+
+  explicit StreamFramer(FrameHandler on_frame)
+      : on_frame_(std::move(on_frame)) {}
+
+  // Frames `payload` for transmission.
+  static Bytes frame(const Bytes& payload) {
+    ByteWriter w;
+    w.blob(payload);
+    return std::move(w).take();
+  }
+
+  // Feeds received stream bytes; emits complete frames via the handler.
+  void feed(const Bytes& chunk) {
+    buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+    for (;;) {
+      if (buf_.size() < 4) return;
+      const std::uint32_t len = (std::uint32_t(buf_[0]) << 24) |
+                                (std::uint32_t(buf_[1]) << 16) |
+                                (std::uint32_t(buf_[2]) << 8) |
+                                std::uint32_t(buf_[3]);
+      if (buf_.size() < 4u + len) return;
+      Bytes frame(buf_.begin() + 4, buf_.begin() + 4 + len);
+      buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+      on_frame_(std::move(frame));
+    }
+  }
+
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  FrameHandler on_frame_;
+  Bytes buf_;
+};
+
+}  // namespace pvn

@@ -1,0 +1,273 @@
+#include "proto/http.h"
+
+#include <charconv>
+
+namespace pvn {
+namespace {
+
+const std::string* find_header(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+void append_headers(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::size_t body_size) {
+  bool has_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+    if (k == "Content-Length") has_length = true;
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+void HttpRequest::set_header(const std::string& name,
+                             const std::string& value) {
+  for (auto& [k, v] : headers) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  headers.emplace_back(name, value);
+}
+
+const std::string* HttpResponse::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+void HttpResponse::set_header(const std::string& name,
+                              const std::string& value) {
+  for (auto& [k, v] : headers) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  headers.emplace_back(name, value);
+}
+
+Bytes HttpRequest::serialize() const {
+  std::string out = method + " " + path + " HTTP/1.1\r\n";
+  append_headers(out, headers, body.size());
+  Bytes raw = to_bytes(out);
+  raw.insert(raw.end(), body.begin(), body.end());
+  return raw;
+}
+
+Bytes HttpResponse::serialize() const {
+  std::string out =
+      "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  append_headers(out, headers, body.size());
+  Bytes raw = to_bytes(out);
+  raw.insert(raw.end(), body.begin(), body.end());
+  return raw;
+}
+
+void HttpParser::feed(const Bytes& chunk) {
+  if (error_) return;
+  buf_.append(chunk.begin(), chunk.end());
+  while (try_parse_one()) {
+  }
+}
+
+std::size_t HttpParser::partial_body_bytes() const {
+  const auto head_end = buf_.find("\r\n\r\n");
+  if (head_end == std::string::npos) return 0;
+  return buf_.size() - (head_end + 4);
+}
+
+bool HttpParser::try_parse_one() {
+  const auto head_end = buf_.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  const std::string head = buf_.substr(0, head_end);
+
+  // Parse status/request line + headers.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::size_t line_start = head.find("\r\n");
+  std::string first_line =
+      head.substr(0, line_start == std::string::npos ? head.size() : line_start);
+  std::size_t content_length = 0;
+  if (line_start != std::string::npos) {
+    std::size_t pos = line_start + 2;
+    while (pos < head.size()) {
+      std::size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      const std::string line = head.substr(pos, eol - pos);
+      const auto colon = line.find(": ");
+      if (colon == std::string::npos) {
+        error_ = true;
+        return false;
+      }
+      headers.emplace_back(line.substr(0, colon), line.substr(colon + 2));
+      pos = eol + 2;
+    }
+  }
+  if (const std::string* cl = find_header(headers, "Content-Length")) {
+    std::size_t v = 0;
+    const auto [p, ec] = std::from_chars(cl->data(), cl->data() + cl->size(), v);
+    if (ec != std::errc() || p != cl->data() + cl->size()) {
+      error_ = true;
+      return false;
+    }
+    content_length = v;
+  }
+
+  const std::size_t total = head_end + 4 + content_length;
+  if (buf_.size() < total) return false;
+  Bytes body(buf_.begin() + static_cast<std::ptrdiff_t>(head_end + 4),
+             buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  buf_.erase(0, total);
+
+  if (kind_ == Kind::kRequest) {
+    HttpRequest req;
+    const auto sp1 = first_line.find(' ');
+    const auto sp2 = first_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      error_ = true;
+      return false;
+    }
+    req.method = first_line.substr(0, sp1);
+    req.path = first_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    req.headers = std::move(headers);
+    req.body = std::move(body);
+    if (on_request_) on_request_(std::move(req));
+  } else {
+    HttpResponse resp;
+    const auto sp1 = first_line.find(' ');
+    if (sp1 == std::string::npos) {
+      error_ = true;
+      return false;
+    }
+    const auto sp2 = first_line.find(' ', sp1 + 1);
+    resp.status = std::atoi(first_line.c_str() + sp1 + 1);
+    resp.reason = sp2 == std::string::npos ? "" : first_line.substr(sp2 + 1);
+    resp.headers = std::move(headers);
+    resp.body = std::move(body);
+    if (on_response_) on_response_(std::move(resp));
+  }
+  return true;
+}
+
+HttpResponse synthesize_response(const HttpRequest& req) {
+  HttpResponse resp;
+  if (req.path.rfind("/bytes/", 0) == 0) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::atoll(req.path.c_str() + 7));
+    resp.body.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      resp.body[i] = static_cast<std::uint8_t>('a' + (i % 23));
+    }
+    resp.set_header("Content-Type", "application/octet-stream");
+  } else {
+    const std::string text = "hello from pvn http-lite: " + req.path;
+    resp.body = to_bytes(text);
+    resp.set_header("Content-Type", "text/plain");
+  }
+  return resp;
+}
+
+struct HttpServer::ConnState {
+  TcpConnection* conn = nullptr;
+  HttpParser parser{HttpParser::Kind::kRequest, nullptr, nullptr};
+};
+
+HttpServer::HttpServer(Host& host, Port port)
+    : host_(&host), handler_(synthesize_response) {
+  host_->tcp_listen(port, [this](TcpConnection& conn) { on_accept(conn); });
+}
+
+void HttpServer::on_accept(TcpConnection& conn) {
+  auto state = std::make_unique<ConnState>();
+  ConnState* s = state.get();
+  s->conn = &conn;
+  s->parser = HttpParser(
+      HttpParser::Kind::kRequest,
+      [this, s](HttpRequest req) {
+        ++requests_;
+        const HttpResponse resp = handler_(req);
+        s->conn->send(resp.serialize());
+        const std::string* connection = req.header("Connection");
+        if (connection != nullptr && *connection == "close") s->conn->close();
+      },
+      nullptr);
+  conn.on_data = [s](const Bytes& data) { s->parser.feed(data); };
+  conns_.push_back(std::move(state));
+}
+
+struct HttpClient::FetchState {
+  HttpParser parser{HttpParser::Kind::kResponse, nullptr, nullptr};
+  FetchTiming timing;
+  Callback cb;
+  bool done = false;
+};
+
+void HttpClient::fetch(Ipv4Addr dst, Port port, const std::string& path,
+                       Callback cb,
+                       std::vector<std::pair<std::string, std::string>> headers,
+                       Bytes body, const std::string& method) {
+  auto state = std::make_unique<FetchState>();
+  FetchState* s = state.get();
+  s->cb = std::move(cb);
+  s->timing.started = host_->sim().now();
+
+  TcpConnection& conn = host_->tcp_connect(dst, port);
+  HttpRequest req;
+  req.method = method;
+  req.path = path;
+  req.headers = std::move(headers);
+  req.body = std::move(body);
+
+  s->parser = HttpParser(
+      HttpParser::Kind::kResponse, nullptr, [this, s, &conn](HttpResponse resp) {
+        if (s->done) return;
+        s->done = true;
+        s->timing.completed = host_->sim().now();
+        s->timing.ok = resp.status >= 200 && resp.status < 400;
+        s->timing.body_bytes = resp.body.size();
+        conn.close();
+        if (s->cb) s->cb(resp, s->timing);
+      });
+
+  conn.on_connected = [this, s, &conn, req = std::move(req)]() {
+    s->timing.connected = host_->sim().now();
+    conn.send(req.serialize());
+  };
+  conn.on_data = [this, s](const Bytes& data) {
+    if (s->timing.first_byte == 0) s->timing.first_byte = host_->sim().now();
+    s->parser.feed(data);
+  };
+  conn.on_closed = [this, s]() {
+    if (s->done) return;
+    s->done = true;
+    s->timing.completed = host_->sim().now();
+    s->timing.ok = false;
+    HttpResponse failed;
+    failed.status = 0;
+    if (s->cb) s->cb(failed, s->timing);
+  };
+  fetches_.push_back(std::move(state));
+}
+
+// Out of line so unique_ptr<ConnState>/unique_ptr<FetchState> destroy with
+// the complete types in scope.
+HttpClient::HttpClient(Host& host) : host_(&host) {}
+HttpServer::~HttpServer() = default;
+HttpClient::~HttpClient() = default;
+
+}  // namespace pvn

@@ -1,0 +1,131 @@
+// HTTP-lite: a text-shaped request/response protocol over TCP.
+//
+// Real-enough for the paper's workloads: headers are plaintext (so the PII
+// detector and classifier middleboxes can inspect them), bodies have
+// Content-Length framing, and a server can synthesize payloads of any size
+// ("/bytes/N") for download experiments.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/host.h"
+
+namespace pvn {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::vector<std::pair<std::string, std::string>> headers;
+  Bytes body;
+
+  const std::string* header(const std::string& name) const;
+  void set_header(const std::string& name, const std::string& value);
+  Bytes serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  Bytes body;
+
+  const std::string* header(const std::string& name) const;
+  void set_header(const std::string& name, const std::string& value);
+  Bytes serialize() const;
+};
+
+// Incremental parser for one direction of an HTTP-lite stream.
+// Emits complete messages via the callback. Handles pipelined messages.
+class HttpParser {
+ public:
+  enum class Kind { kRequest, kResponse };
+  using RequestHandler = std::function<void(HttpRequest)>;
+  using ResponseHandler = std::function<void(HttpResponse)>;
+
+  HttpParser(Kind kind, RequestHandler on_request, ResponseHandler on_response)
+      : kind_(kind),
+        on_request_(std::move(on_request)),
+        on_response_(std::move(on_response)) {}
+
+  void feed(const Bytes& chunk);
+  bool error() const { return error_; }
+  // Body bytes received so far for the in-flight message (for TTFB-style
+  // progress measurements).
+  std::size_t partial_body_bytes() const;
+
+ private:
+  bool try_parse_one();
+
+  Kind kind_;
+  RequestHandler on_request_;
+  ResponseHandler on_response_;
+  std::string buf_;
+  bool error_ = false;
+};
+
+// A server application bound to a listening port of a Host.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Host& host, Port port = 80);
+  ~HttpServer();
+
+  // Overrides the default handler. The default serves:
+  //   /bytes/N        -> N bytes of deterministic filler
+  //   anything else   -> 200 with a small text body
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  struct ConnState;
+  void on_accept(TcpConnection& conn);
+
+  Host* host_;
+  Handler handler_;
+  std::uint64_t requests_ = 0;
+  std::vector<std::unique_ptr<ConnState>> conns_;
+};
+
+// Default content generator used by HttpServer for /bytes/N paths.
+HttpResponse synthesize_response(const HttpRequest& req);
+
+// Timing observed by an HttpClient fetch.
+struct FetchTiming {
+  SimTime started = 0;
+  SimTime connected = 0;
+  SimTime first_byte = 0;
+  SimTime completed = 0;
+  bool ok = false;
+  std::size_t body_bytes = 0;
+
+  SimDuration total() const { return completed - started; }
+  SimDuration ttfb() const { return first_byte - started; }
+};
+
+// One-shot HTTP client: opens a connection per fetch.
+class HttpClient {
+ public:
+  explicit HttpClient(Host& host);
+  ~HttpClient();
+
+  using Callback = std::function<void(const HttpResponse&, const FetchTiming&)>;
+
+  // Fetches http://<dst>:<port><path>. Extra headers ride on the request
+  // (the PII experiments put leaky headers there).
+  void fetch(Ipv4Addr dst, Port port, const std::string& path, Callback cb,
+             std::vector<std::pair<std::string, std::string>> headers = {},
+             Bytes body = {}, const std::string& method = "GET");
+
+ private:
+  struct FetchState;
+  Host* host_;
+  std::vector<std::unique_ptr<FetchState>> fetches_;
+};
+
+}  // namespace pvn

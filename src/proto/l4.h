@@ -1,0 +1,81 @@
+// Transport-layer header codecs. A Packet's `l4` buffer is one of:
+//   TcpHeader + payload        (ip.proto == kTcp)
+//   UdpHeader + payload        (ip.proto == kUdp)
+//   EspHeader + inner packet   (ip.proto == kEsp, see src/tunnel)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace pvn {
+
+using Port = std::uint16_t;
+
+// TCP flag bits.
+constexpr std::uint8_t kTcpSyn = 0x01;
+constexpr std::uint8_t kTcpAck = 0x02;
+constexpr std::uint8_t kTcpFin = 0x04;
+constexpr std::uint8_t kTcpRst = 0x08;
+
+struct TcpHeader {
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t window = 0;
+  // SACK option: up to 3 [begin, end) ranges the receiver holds above the
+  // cumulative ACK. Modern loss recovery is impossible without this under
+  // the bursty multi-loss patterns DropTail overflow produces.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sacks;
+
+  static constexpr std::size_t kWireSize = 20;  // base header, sans options
+  static constexpr std::size_t kMaxSackRanges = 3;
+
+  bool syn() const { return flags & kTcpSyn; }
+  bool ack_flag() const { return flags & kTcpAck; }
+  bool fin() const { return flags & kTcpFin; }
+  bool rst() const { return flags & kTcpRst; }
+
+  void encode(ByteWriter& w) const;
+  static TcpHeader decode(ByteReader& r);
+  bool operator==(const TcpHeader&) const = default;
+};
+
+struct UdpHeader {
+  Port src_port = 0;
+  Port dst_port = 0;
+
+  static constexpr std::size_t kWireSize = 8;
+
+  void encode(ByteWriter& w) const;
+  static UdpHeader decode(ByteReader& r);
+  bool operator==(const UdpHeader&) const = default;
+};
+
+// Parsed view of an L4 buffer: header + remaining payload.
+struct TcpSegment {
+  TcpHeader hdr;
+  Bytes payload;
+};
+struct UdpDatagram {
+  UdpHeader hdr;
+  Bytes payload;
+};
+
+// Returns nullopt on truncated input.
+std::optional<TcpSegment> parse_tcp(const Bytes& l4);
+std::optional<UdpDatagram> parse_udp(const Bytes& l4);
+
+Bytes serialize_tcp(const TcpHeader& hdr, const Bytes& payload);
+Bytes serialize_udp(const UdpHeader& hdr, const Bytes& payload);
+
+// Best-effort extraction of (src,dst) ports from an L4 buffer of the given
+// protocol; used by the SDN match engine. Returns false for non-port protos.
+bool peek_ports(std::uint8_t ip_proto, const Bytes& l4, Port& src, Port& dst);
+
+}  // namespace pvn

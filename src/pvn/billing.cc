@@ -1,0 +1,38 @@
+#include "pvn/billing.h"
+
+namespace pvn {
+
+void Ledger::charge(SimTime at, const std::string& payer,
+                    const std::string& payee, double amount,
+                    const std::string& memo) {
+  entries_.push_back(LedgerEntry{at, payer, payee, amount, memo});
+}
+
+std::size_t Ledger::file_dispute(SimTime at, const std::string& claimant,
+                                 const std::string& respondent, double amount,
+                                 const std::string& evidence) {
+  disputes_.push_back(Dispute{at, claimant, respondent, amount, evidence,
+                              /*refunded=*/false});
+  return disputes_.size() - 1;
+}
+
+bool Ledger::grant_refund(std::size_t dispute_index) {
+  if (dispute_index >= disputes_.size()) return false;
+  Dispute& d = disputes_[dispute_index];
+  if (d.refunded) return false;
+  d.refunded = true;
+  charge(d.at, d.respondent, d.claimant, d.amount,
+         "refund: " + d.evidence);
+  return true;
+}
+
+double Ledger::balance(const std::string& party) const {
+  double balance = 0.0;
+  for (const LedgerEntry& e : entries_) {
+    if (e.payee == party) balance += e.amount;
+    if (e.payer == party) balance -= e.amount;
+  }
+  return balance;
+}
+
+}  // namespace pvn

@@ -1,0 +1,50 @@
+// Billing ledger and dispute records (paper §3.1: offers carry "a cost per
+// VNC module"; §3.3: audit evidence feeds "billing disputes").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace pvn {
+
+struct LedgerEntry {
+  SimTime at = 0;
+  std::string payer;
+  std::string payee;
+  double amount = 0.0;
+  std::string memo;
+};
+
+struct Dispute {
+  SimTime at = 0;
+  std::string claimant;
+  std::string respondent;
+  double amount = 0.0;
+  std::string evidence;  // e.g. an audit violation summary
+  bool refunded = false;
+};
+
+class Ledger {
+ public:
+  void charge(SimTime at, const std::string& payer, const std::string& payee,
+              double amount, const std::string& memo);
+
+  // Files a dispute; if granted, a refund entry is appended.
+  std::size_t file_dispute(SimTime at, const std::string& claimant,
+                           const std::string& respondent, double amount,
+                           const std::string& evidence);
+  bool grant_refund(std::size_t dispute_index);
+
+  double balance(const std::string& party) const;
+  const std::vector<LedgerEntry>& entries() const { return entries_; }
+  const std::vector<Dispute>& disputes() const { return disputes_; }
+
+ private:
+  std::vector<LedgerEntry> entries_;
+  std::vector<Dispute> disputes_;
+};
+
+}  // namespace pvn

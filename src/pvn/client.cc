@@ -1,0 +1,138 @@
+#include "pvn/client.h"
+
+namespace pvn {
+
+PvnClient::PvnClient(Host& host, Pvnc pvnc, ClientConfig cfg)
+    : host_(&host), pvnc_(std::move(pvnc)), cfg_(std::move(cfg)) {
+  host_->bind_udp(local_port_, [this](Ipv4Addr, Port, Port,
+                                      const Bytes& payload) {
+    on_packet(payload);
+  });
+}
+
+void PvnClient::discover_and_deploy(Ipv4Addr server, DoneCallback done) {
+  in_progress_ = true;
+  awaiting_ack_ = false;
+  started_ = host_->sim().now();
+  server_ = server;
+  offers_.clear();
+  outcome_ = DeployOutcome{};
+  done_ = std::move(done);
+
+  DiscoveryMessage dm;
+  dm.seq = ++seq_;
+  dm.device_id = pvnc_.name;
+  dm.standards = cfg_.standards;
+  dm.modules = pvnc_.module_names();
+  dm.est_memory_bytes = pvnc_.est_memory_bytes();
+  host_->send_udp(server_, local_port_, kPvnPort,
+                  wrap(PvnMsgType::kDiscovery, dm.encode()));
+  ++outcome_.messages_sent;
+
+  timer_ = host_->sim().schedule_after(cfg_.offer_wait, [this] {
+    timer_ = kInvalidEventId;
+    on_offers_collected();
+  });
+}
+
+void PvnClient::teardown(Ipv4Addr server) {
+  Teardown td;
+  td.device_id = pvnc_.name;
+  host_->send_udp(server, local_port_, kPvnPort,
+                  wrap(PvnMsgType::kTeardown, td.encode()));
+}
+
+void PvnClient::on_packet(const Bytes& payload) {
+  if (!in_progress_) return;
+  const auto msg = unwrap(payload);
+  if (!msg) return;
+  ++outcome_.messages_received;
+
+  switch (msg->first) {
+    case PvnMsgType::kOffer: {
+      const auto offer = Offer::decode(msg->second);
+      if (offer && offer->seq == seq_ && !awaiting_ack_) {
+        offers_.push_back(*offer);
+        ++outcome_.offers_received;
+      }
+      break;
+    }
+    case PvnMsgType::kDeployAck: {
+      const auto ack = DeployAck::decode(msg->second);
+      if (ack && ack->seq == seq_ && awaiting_ack_) {
+        outcome_.ok = true;
+        outcome_.chain_id = ack->chain_id;
+        finish(outcome_);
+      }
+      break;
+    }
+    case PvnMsgType::kDeployNack: {
+      const auto nack = DeployNack::decode(msg->second);
+      if (nack && nack->seq == seq_ && awaiting_ack_) {
+        outcome_.ok = false;
+        outcome_.failure = "nack: " + nack->reason;
+        finish(outcome_);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void PvnClient::on_offers_collected() {
+  if (!in_progress_ || awaiting_ack_) return;
+  const std::vector<std::string> requested = pvnc_.module_names();
+  const int best = pick_best_offer(offers_, requested, cfg_.constraints,
+                                   host_->sim().now());
+  if (best < 0) {
+    outcome_.ok = false;
+    outcome_.failure = offers_.empty() ? "no offers (network lacks PVN support)"
+                                       : "no acceptable offer";
+    finish(outcome_);
+    return;
+  }
+  const Offer& offer = offers_[static_cast<std::size_t>(best)];
+  const NegotiationResult negotiated =
+      evaluate_offer(offer, requested, cfg_.constraints, host_->sim().now());
+
+  DeployRequest req;
+  req.seq = seq_;
+  req.device_id = pvnc_.name;
+  if (cfg_.pvnc_uri.empty()) {
+    req.pvnc = negotiated.action == NegotiationAction::kCounterSubset
+                   ? restrict_to_modules(pvnc_, negotiated.accept_modules)
+                   : pvnc_;
+  } else {
+    req.pvnc_uri = cfg_.pvnc_uri;  // the provider fetches the object itself
+  }
+  req.payment = offer.total_price;
+  outcome_.paid = offer.total_price;
+  outcome_.utility = negotiated.utility;
+  outcome_.deployed_modules = req.pvnc.module_names();
+
+  awaiting_ack_ = true;
+  host_->send_udp(offer.deployment_server, local_port_, kPvnPort,
+                  wrap(PvnMsgType::kDeployRequest, req.encode()));
+  ++outcome_.messages_sent;
+
+  timer_ = host_->sim().schedule_after(cfg_.deploy_timeout, [this] {
+    timer_ = kInvalidEventId;
+    if (!in_progress_) return;
+    outcome_.ok = false;
+    outcome_.failure = "deploy timeout";
+    finish(outcome_);
+  });
+}
+
+void PvnClient::finish(DeployOutcome outcome) {
+  if (timer_ != kInvalidEventId) {
+    host_->sim().cancel(timer_);
+    timer_ = kInvalidEventId;
+  }
+  in_progress_ = false;
+  outcome.elapsed = host_->sim().now() - started_;
+  if (done_) done_(outcome);
+}
+
+}  // namespace pvn

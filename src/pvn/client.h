@@ -1,0 +1,72 @@
+// The device-side PVN agent (paper §3.1): discovers PVN support, collects
+// offers, negotiates per the user's constraints, and deploys the PVNC.
+#pragma once
+
+#include <functional>
+
+#include "proto/host.h"
+#include "pvn/negotiation.h"
+
+namespace pvn {
+
+struct DeployOutcome {
+  bool ok = false;
+  std::string chain_id;
+  std::string failure;
+  double paid = 0.0;
+  double utility = 0.0;
+  // Protocol telemetry (experiment E8).
+  int messages_sent = 0;
+  int messages_received = 0;
+  int offers_received = 0;
+  SimDuration elapsed = 0;
+  std::vector<std::string> deployed_modules;
+};
+
+struct ClientConfig {
+  std::vector<std::string> standards = {"openflow-lite", "mbox-v1"};
+  SimDuration offer_wait = milliseconds(250);  // collect offers this long
+  SimDuration deploy_timeout = seconds(5);
+  Constraints constraints;
+  // When set, the deployment request carries this cloud-storage URI
+  // ("pvnc://<ip>/<path>") instead of the inline PVNC object (§3.1); the
+  // provider fetches and deploys the subset its policy allows.
+  std::string pvnc_uri;
+};
+
+class PvnClient {
+ public:
+  using DoneCallback = std::function<void(const DeployOutcome&)>;
+
+  PvnClient(Host& host, Pvnc pvnc, ClientConfig cfg = {});
+
+  // Runs discovery -> negotiation -> deployment against `server` (a known
+  // deployment server address from DHCP, or kPvnAnycast for flooding).
+  void discover_and_deploy(Ipv4Addr server, DoneCallback done);
+
+  // Sends a teardown for this device's deployment.
+  void teardown(Ipv4Addr server);
+
+  const Pvnc& pvnc() const { return pvnc_; }
+
+ private:
+  void on_packet(const Bytes& payload);
+  void on_offers_collected();
+  void finish(DeployOutcome outcome);
+
+  Host* host_;
+  Pvnc pvnc_;
+  ClientConfig cfg_;
+  Port local_port_ = 3031;
+  std::uint32_t seq_ = 0;
+  bool in_progress_ = false;
+  SimTime started_ = 0;
+  Ipv4Addr server_;
+  std::vector<Offer> offers_;
+  DeployOutcome outcome_;
+  DoneCallback done_;
+  EventId timer_ = kInvalidEventId;
+  bool awaiting_ack_ = false;
+};
+
+}  // namespace pvn

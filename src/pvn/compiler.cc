@@ -1,0 +1,122 @@
+#include "pvn/compiler.h"
+
+namespace pvn {
+namespace {
+
+// Restricts a match to the device's traffic in one direction.
+FlowMatch scoped(FlowMatch match, Ipv4Addr device, bool outbound) {
+  if (outbound) {
+    match.src = Prefix{device, 32};
+  } else {
+    match.dst = Prefix{device, 32};
+  }
+  return match;
+}
+
+// Policies are written from the device's perspective (dst/dport name the
+// remote side). For the inbound rule the remote appears as src/sport, so
+// the match must be mirrored before scoping — otherwise scoping would
+// clobber the user's dst field with the device address.
+FlowMatch mirrored(FlowMatch match) {
+  std::swap(match.src, match.dst);
+  std::swap(match.src_port, match.dst_port);
+  return match;
+}
+
+}  // namespace
+
+// Pipeline layout (see compiler.h): table 0 scopes the device's traffic and
+// diverts it through the middlebox chain FIRST (so classifier marks are
+// visible to policies), then table 1 applies the user's policies and
+// forwards. Policies are emitted per direction so the final forwarding port
+// is known.
+CompiledPvnc compile_pvnc(const Pvnc& pvnc, const DeploymentContext& ctx) {
+  CompiledPvnc out;
+  out.chain = pvnc.chain;
+
+  // Management-plane bypass: device <-> control traffic is never diverted.
+  if (!ctx.control.is_unspecified()) {
+    FlowRule to_control;
+    to_control.priority = 10000;
+    to_control.match.src = Prefix{ctx.device, 32};
+    to_control.match.dst = Prefix{ctx.control, 32};
+    to_control.cookie = ctx.cookie;
+    to_control.actions.push_back(ActOutput{ctx.control_port});
+    out.rules.emplace_back(0, std::move(to_control));
+
+    FlowRule from_control;
+    from_control.priority = 10000;
+    from_control.match.src = Prefix{ctx.control, 32};
+    from_control.match.dst = Prefix{ctx.device, 32};
+    from_control.cookie = ctx.cookie;
+    from_control.actions.push_back(ActOutput{ctx.client_port});
+    out.rules.emplace_back(0, std::move(from_control));
+  }
+
+  // Table 0: scope + divert through the chain, then continue in table 1.
+  for (const bool outbound : {true, false}) {
+    FlowRule divert;
+    divert.priority = 1;
+    divert.match = scoped(FlowMatch::any(), ctx.device, outbound);
+    divert.cookie = ctx.cookie;
+    if (!out.chain.empty()) divert.actions.push_back(ActMbox{ctx.chain_id});
+    divert.actions.push_back(ActGotoTable{1});
+    out.rules.emplace_back(0, std::move(divert));
+  }
+
+  // Table 1: the user's policies (per direction, scoped so a PVN can never
+  // touch other users' traffic — §3.3 "Avoiding harm"), then forwarding.
+  int meter_seq = 0;
+  for (const PvncPolicy& policy : pvnc.policies) {
+    std::string meter_id;
+    if (policy.kind == PvncPolicy::Kind::kRateLimit) {
+      meter_id = ctx.cookie + ":m" + std::to_string(meter_seq++);
+      out.meters.push_back(MeterSpec{
+          meter_id, policy.rate,
+          /*burst=*/policy.rate.bits_per_second / 8 / 4});
+    }
+    for (const bool outbound : {true, false}) {
+      FlowRule rule;
+      rule.priority = policy.priority;
+      rule.match = scoped(outbound ? policy.match : mirrored(policy.match),
+                          ctx.device, outbound);
+      rule.cookie = ctx.cookie;
+      const int egress = outbound ? ctx.wan_port : ctx.client_port;
+      switch (policy.kind) {
+        case PvncPolicy::Kind::kDrop:
+          rule.actions.push_back(ActDrop{});
+          break;
+        case PvncPolicy::Kind::kRateLimit:
+          rule.actions.push_back(ActMeter{meter_id});
+          rule.actions.push_back(ActOutput{egress});
+          break;
+        case PvncPolicy::Kind::kMark:
+          rule.actions.push_back(ActSetTos{policy.tos});
+          rule.actions.push_back(ActOutput{egress});
+          break;
+        case PvncPolicy::Kind::kTunnel:
+          // Tunnelled traffic is handled at the remote PVN (Fig. 1c) and
+          // always leaves via the WAN.
+          rule.actions.push_back(ActTunnel{policy.gateway});
+          rule.actions.push_back(ActOutput{ctx.wan_port});
+          break;
+      }
+      out.rules.emplace_back(1, std::move(rule));
+    }
+  }
+
+  // Table 1 fall-through forwarding per direction.
+  for (const bool outbound : {true, false}) {
+    FlowRule forward;
+    forward.priority = 1;
+    forward.match = scoped(FlowMatch::any(), ctx.device, outbound);
+    forward.cookie = ctx.cookie;
+    forward.actions.push_back(
+        ActOutput{outbound ? ctx.wan_port : ctx.client_port});
+    out.rules.emplace_back(1, std::move(forward));
+  }
+
+  return out;
+}
+
+}  // namespace pvn

@@ -1,0 +1,49 @@
+// Lowers a PVNC to SDN flow rules + a middlebox chain for one deployment
+// point (the access network's SdnSwitch).
+//
+// Layout produced (two-table pipeline):
+//   table 0 — the device's policies (drop / meter / mark / tunnel), each
+//             falling through to table 1; plus a scope rule sending all of
+//             the device's remaining traffic to table 1.
+//   table 1 — diversion through the PVN's middlebox chain, then forwarding
+//             (client-side port vs WAN port by direction).
+// Non-device traffic never matches (cookie-scoped rules are removed on
+// teardown) and follows the switch's default port.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pvn/pvnc.h"
+#include "sdn/flow_table.h"
+
+namespace pvn {
+
+struct DeploymentContext {
+  Ipv4Addr device;      // the PVN owner's address
+  int client_port = 0;  // switch port toward the device
+  int wan_port = 1;     // switch port toward the Internet
+  std::string chain_id; // processor id registered on the switch
+  std::string cookie;   // rule owner tag, e.g. "pvn:alice-phone"
+  // Access-network control plane (deployment server / DHCP): traffic
+  // between the device and this address bypasses the PVN so management
+  // keeps working after deployment (teardown, redeploy, DHCP refresh).
+  Ipv4Addr control;
+  int control_port = 2;  // switch port toward the control host
+};
+
+struct MeterSpec {
+  std::string id;
+  Rate rate;
+  std::int64_t burst_bytes;
+};
+
+struct CompiledPvnc {
+  std::vector<std::pair<int, FlowRule>> rules;  // (table index, rule)
+  std::vector<MeterSpec> meters;
+  std::vector<PvncModule> chain;  // instantiate in order
+};
+
+CompiledPvnc compile_pvnc(const Pvnc& pvnc, const DeploymentContext& ctx);
+
+}  // namespace pvn

@@ -1,0 +1,167 @@
+#include "pvn/discovery.h"
+
+namespace pvn {
+namespace {
+
+void encode_strings(ByteWriter& w, const std::vector<std::string>& v) {
+  w.u16(static_cast<std::uint16_t>(v.size()));
+  for (const std::string& s : v) w.str(s);
+}
+
+std::vector<std::string> decode_strings(ByteReader& r) {
+  std::vector<std::string> out;
+  const std::uint16_t n = r.u16();
+  for (std::uint16_t i = 0; i < n; ++i) out.push_back(r.str());
+  return out;
+}
+
+}  // namespace
+
+Bytes wrap(PvnMsgType type, const Bytes& body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.blob(body);
+  return std::move(w).take();
+}
+
+std::optional<std::pair<PvnMsgType, Bytes>> unwrap(const Bytes& payload) {
+  ByteReader r(payload);
+  const auto type = static_cast<PvnMsgType>(r.u8());
+  Bytes body = r.blob();
+  if (!r.ok()) return std::nullopt;
+  return std::make_pair(type, std::move(body));
+}
+
+Bytes DiscoveryMessage::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.str(device_id);
+  encode_strings(w, standards);
+  encode_strings(w, modules);
+  w.i64(est_memory_bytes);
+  return std::move(w).take();
+}
+
+std::optional<DiscoveryMessage> DiscoveryMessage::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  DiscoveryMessage m;
+  m.seq = r.u32();
+  m.device_id = r.str();
+  m.standards = decode_strings(r);
+  m.modules = decode_strings(r);
+  m.est_memory_bytes = r.i64();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+Bytes Offer::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.u32(deployment_server.v);
+  encode_strings(w, standards);
+  encode_strings(w, offered_modules);
+  w.f64(total_price);
+  w.i64(expires_at);
+  return std::move(w).take();
+}
+
+std::optional<Offer> Offer::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  Offer o;
+  o.seq = r.u32();
+  o.deployment_server = Ipv4Addr(r.u32());
+  o.standards = decode_strings(r);
+  o.offered_modules = decode_strings(r);
+  o.total_price = r.f64();
+  o.expires_at = r.i64();
+  if (!r.exhausted()) return std::nullopt;
+  return o;
+}
+
+Bytes DeployRequest::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.str(device_id);
+  w.blob(pvnc.encode());
+  w.str(pvnc_uri);
+  w.f64(payment);
+  return std::move(w).take();
+}
+
+std::optional<DeployRequest> DeployRequest::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  DeployRequest m;
+  m.seq = r.u32();
+  m.device_id = r.str();
+  const auto pvnc = Pvnc::decode(r.blob());
+  if (!pvnc) return std::nullopt;
+  m.pvnc = *pvnc;
+  m.pvnc_uri = r.str();
+  m.payment = r.f64();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+bool parse_pvnc_uri(const std::string& uri, Ipv4Addr& host,
+                    std::string& path) {
+  constexpr const char* kScheme = "pvnc://";
+  if (uri.rfind(kScheme, 0) != 0) return false;
+  const std::string rest = uri.substr(7);
+  const auto slash = rest.find('/');
+  if (slash == std::string::npos) return false;
+  const auto addr = Ipv4Addr::parse(rest.substr(0, slash));
+  if (!addr) return false;
+  host = *addr;
+  path = rest.substr(slash);
+  return !path.empty();
+}
+
+Bytes DeployAck::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.str(chain_id);
+  w.u8(dhcp_refresh ? 1 : 0);
+  return std::move(w).take();
+}
+
+std::optional<DeployAck> DeployAck::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  DeployAck m;
+  m.seq = r.u32();
+  m.chain_id = r.str();
+  m.dhcp_refresh = r.u8() != 0;
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+Bytes DeployNack::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.str(reason);
+  return std::move(w).take();
+}
+
+std::optional<DeployNack> DeployNack::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  DeployNack m;
+  m.seq = r.u32();
+  m.reason = r.str();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+Bytes Teardown::encode() const {
+  ByteWriter w;
+  w.str(device_id);
+  return std::move(w).take();
+}
+
+std::optional<Teardown> Teardown::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  Teardown m;
+  m.device_id = r.str();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+}  // namespace pvn

@@ -1,0 +1,100 @@
+// PVN Discovery and Deployment Protocol (paper §3.1), over UDP port 3030.
+//
+//   device                         network
+//     | -- DiscoveryMessage  -->     |   (direct, or anycast flooding)
+//     | <-- Offer ------------       |   (subset of modules, price, expiry)
+//     | -- DeployRequest ---->       |   (PVNC + payment)
+//     | <-- DeployAck --------       |   (chain id, triggers DHCP refresh)
+//     | <-- DeployNack -------       |   (failure reason)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pvn/pvnc.h"
+
+namespace pvn {
+
+constexpr Port kPvnPort = 3030;
+
+enum class PvnMsgType : std::uint8_t {
+  kDiscovery = 1,
+  kOffer = 2,
+  kDeployRequest = 3,
+  kDeployAck = 4,
+  kDeployNack = 5,
+  kTeardown = 6,
+  kTeardownAck = 7,
+};
+
+struct DiscoveryMessage {
+  std::uint32_t seq = 0;  // incremented per discovery attempt (§3.1)
+  std::string device_id;
+  std::vector<std::string> standards;  // e.g. {"openflow-lite", "mbox-v1"}
+  std::vector<std::string> modules;    // requested module names
+  std::int64_t est_memory_bytes = 0;
+
+  Bytes encode() const;
+  static std::optional<DiscoveryMessage> decode(const Bytes& raw);
+};
+
+struct Offer {
+  std::uint32_t seq = 0;              // echoes the DM seq
+  Ipv4Addr deployment_server;
+  std::vector<std::string> standards;
+  std::vector<std::string> offered_modules;  // may be a subset
+  double total_price = 0.0;
+  SimTime expires_at = 0;
+
+  Bytes encode() const;
+  static std::optional<Offer> decode(const Bytes& raw);
+};
+
+struct DeployRequest {
+  std::uint32_t seq = 0;
+  std::string device_id;
+  Pvnc pvnc;
+  // Alternative to an inline PVNC (§3.1: "provided to an access network as
+  // a URI to a globally accessible PVNC object"): "pvnc://<ipv4>/<path>".
+  // When set, the server fetches and decodes the object itself and deploys
+  // the subset of it that its policy allows.
+  std::string pvnc_uri;
+  double payment = 0.0;
+
+  Bytes encode() const;
+  static std::optional<DeployRequest> decode(const Bytes& raw);
+};
+
+// Parses "pvnc://<ipv4>/<path>"; returns false on malformed input.
+bool parse_pvnc_uri(const std::string& uri, Ipv4Addr& host, std::string& path);
+
+struct DeployAck {
+  std::uint32_t seq = 0;
+  std::string chain_id;
+  bool dhcp_refresh = true;
+
+  Bytes encode() const;
+  static std::optional<DeployAck> decode(const Bytes& raw);
+};
+
+struct DeployNack {
+  std::uint32_t seq = 0;
+  std::string reason;
+
+  Bytes encode() const;
+  static std::optional<DeployNack> decode(const Bytes& raw);
+};
+
+struct Teardown {
+  std::string device_id;
+
+  Bytes encode() const;
+  static std::optional<Teardown> decode(const Bytes& raw);
+};
+
+// Wraps/unwraps a typed message for the UDP payload.
+Bytes wrap(PvnMsgType type, const Bytes& body);
+std::optional<std::pair<PvnMsgType, Bytes>> unwrap(const Bytes& payload);
+
+}  // namespace pvn

@@ -1,0 +1,87 @@
+#include "pvn/negotiation.h"
+
+#include <algorithm>
+
+namespace pvn {
+
+NegotiationResult evaluate_offer(const Offer& offer,
+                                 const std::vector<std::string>& requested,
+                                 const Constraints& constraints, SimTime now) {
+  NegotiationResult result;
+
+  if (offer.expires_at != 0 && now > offer.expires_at) {
+    result.reason = "offer expired";
+    return result;
+  }
+  if (offer.total_price > constraints.max_price) {
+    result.reason = "price " + std::to_string(offer.total_price) +
+                    " exceeds budget " + std::to_string(constraints.max_price);
+    return result;
+  }
+
+  // Hard constraints: every required module must be offered.
+  for (const std::string& required : constraints.required_modules) {
+    if (std::find(offer.offered_modules.begin(), offer.offered_modules.end(),
+                  required) == offer.offered_modules.end()) {
+      result.reason = "required module not offered: " + required;
+      return result;
+    }
+  }
+
+  // Policies-only PVNCs request no modules: any standards-compatible offer
+  // is acceptable as-is.
+  if (requested.empty()) {
+    result.action = NegotiationAction::kAccept;
+    result.reason = "policies-only configuration";
+    return result;
+  }
+
+  // Utility over the offered intersection with the request.
+  double utility = 0.0;
+  std::vector<std::string> accepted;
+  for (const std::string& module : requested) {
+    if (std::find(offer.offered_modules.begin(), offer.offered_modules.end(),
+                  module) == offer.offered_modules.end()) {
+      continue;
+    }
+    accepted.push_back(module);
+    const auto it = constraints.module_utility.find(module);
+    utility += it == constraints.module_utility.end() ? 1.0 : it->second;
+  }
+  if (accepted.empty()) {
+    result.reason = "no requested modules offered";
+    return result;
+  }
+
+  result.utility = utility;
+  result.accept_modules = std::move(accepted);
+  result.action = result.accept_modules.size() == requested.size()
+                      ? NegotiationAction::kAccept
+                      : NegotiationAction::kCounterSubset;
+  result.reason = result.action == NegotiationAction::kAccept
+                      ? "full request offered"
+                      : "partial offer: deploying subset";
+  return result;
+}
+
+int pick_best_offer(const std::vector<Offer>& offers,
+                    const std::vector<std::string>& requested,
+                    const Constraints& constraints, SimTime now) {
+  int best = -1;
+  double best_utility = -1.0;
+  double best_price = 0.0;
+  for (std::size_t i = 0; i < offers.size(); ++i) {
+    const NegotiationResult r =
+        evaluate_offer(offers[i], requested, constraints, now);
+    if (r.action == NegotiationAction::kReject) continue;
+    if (r.utility > best_utility ||
+        (r.utility == best_utility && offers[i].total_price < best_price)) {
+      best = static_cast<int>(i);
+      best_utility = r.utility;
+      best_price = offers[i].total_price;
+    }
+  }
+  return best;
+}
+
+}  // namespace pvn

@@ -1,0 +1,49 @@
+// Automated access-policy negotiation (paper §3.3): "a set of soft and hard
+// constraints can inform the decision of whether a user is willing to
+// connect to a given access network, and under what conditions."
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pvn/discovery.h"
+
+namespace pvn {
+
+struct Constraints {
+  // Hard: the deployment is unacceptable without these.
+  std::vector<std::string> required_modules;
+  double max_price = 1e9;
+
+  // Soft: utility gained per module deployed (missing = 0 utility).
+  std::map<std::string, double> module_utility;
+};
+
+enum class NegotiationAction {
+  kAccept,        // deploy the offered subset as-is
+  kCounterSubset, // re-request with only the offered modules (new price)
+  kReject,        // walk away (wait for other offers / eschew PVNs / tunnel)
+};
+
+struct NegotiationResult {
+  NegotiationAction action = NegotiationAction::kReject;
+  double utility = 0.0;            // achieved utility if accepted
+  std::vector<std::string> accept_modules;  // modules to deploy
+  std::string reason;
+};
+
+// Scores an offer against the constraints. `requested` is what the device
+// asked for in its DM.
+NegotiationResult evaluate_offer(const Offer& offer,
+                                 const std::vector<std::string>& requested,
+                                 const Constraints& constraints,
+                                 SimTime now);
+
+// Picks the best acceptable offer (highest utility, ties by lower price);
+// returns index into `offers`, or -1 if none acceptable.
+int pick_best_offer(const std::vector<Offer>& offers,
+                    const std::vector<std::string>& requested,
+                    const Constraints& constraints, SimTime now);
+
+}  // namespace pvn

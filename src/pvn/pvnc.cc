@@ -1,0 +1,175 @@
+#include "pvn/pvnc.h"
+
+#include <algorithm>
+
+#include "mbox/registry.h"
+
+namespace pvn {
+namespace {
+
+void encode_match(ByteWriter& w, const FlowMatch& m) {
+  auto opt_u32 = [&w](const std::optional<Prefix>& p) {
+    w.u8(p.has_value() ? 1 : 0);
+    if (p) {
+      w.u32(p->addr.v);
+      w.u8(static_cast<std::uint8_t>(p->len));
+    }
+  };
+  w.u8(m.in_port.has_value() ? 1 : 0);
+  if (m.in_port) w.u32(static_cast<std::uint32_t>(*m.in_port));
+  opt_u32(m.src);
+  opt_u32(m.dst);
+  w.u8(m.proto.has_value() ? 1 : 0);
+  if (m.proto) w.u8(static_cast<std::uint8_t>(*m.proto));
+  w.u8(m.src_port.has_value() ? 1 : 0);
+  if (m.src_port) w.u16(*m.src_port);
+  w.u8(m.dst_port.has_value() ? 1 : 0);
+  if (m.dst_port) w.u16(*m.dst_port);
+  w.u8(m.tos.has_value() ? 1 : 0);
+  if (m.tos) w.u8(*m.tos);
+}
+
+FlowMatch decode_match(ByteReader& r) {
+  FlowMatch m;
+  auto opt_prefix = [&r]() -> std::optional<Prefix> {
+    if (r.u8() == 0) return std::nullopt;
+    Prefix p;
+    p.addr = Ipv4Addr(r.u32());
+    p.len = r.u8();
+    return p;
+  };
+  if (r.u8() != 0) m.in_port = static_cast<int>(r.u32());
+  m.src = opt_prefix();
+  m.dst = opt_prefix();
+  if (r.u8() != 0) m.proto = static_cast<IpProto>(r.u8());
+  if (r.u8() != 0) m.src_port = r.u16();
+  if (r.u8() != 0) m.dst_port = r.u16();
+  if (r.u8() != 0) m.tos = r.u8();
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::string> Pvnc::module_names() const {
+  std::vector<std::string> names;
+  names.reserve(chain.size());
+  for (const PvncModule& m : chain) names.push_back(m.store_name);
+  return names;
+}
+
+std::int64_t Pvnc::est_memory_bytes() const {
+  return static_cast<std::int64_t>(chain.size()) * 6 * 1024 * 1024;
+}
+
+Bytes Pvnc::encode() const {
+  ByteWriter w;
+  w.str(name);
+  w.u16(static_cast<std::uint16_t>(chain.size()));
+  for (const PvncModule& m : chain) {
+    w.str(m.store_name);
+    w.u16(static_cast<std::uint16_t>(m.params.size()));
+    for (const auto& [k, v] : m.params) {
+      w.str(k);
+      w.str(v);
+    }
+  }
+  w.u16(static_cast<std::uint16_t>(policies.size()));
+  for (const PvncPolicy& p : policies) {
+    w.u8(static_cast<std::uint8_t>(p.kind));
+    encode_match(w, p.match);
+    w.i64(p.rate.bits_per_second);
+    w.u8(p.tos);
+    w.u32(p.gateway.v);
+    w.u32(static_cast<std::uint32_t>(p.priority));
+  }
+  return std::move(w).take();
+}
+
+std::optional<Pvnc> Pvnc::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  Pvnc pvnc;
+  pvnc.name = r.str();
+  const std::uint16_t nmods = r.u16();
+  for (std::uint16_t i = 0; i < nmods; ++i) {
+    PvncModule m;
+    m.store_name = r.str();
+    const std::uint16_t nparams = r.u16();
+    for (std::uint16_t j = 0; j < nparams; ++j) {
+      const std::string k = r.str();
+      m.params[k] = r.str();
+    }
+    pvnc.chain.push_back(std::move(m));
+  }
+  const std::uint16_t npol = r.u16();
+  for (std::uint16_t i = 0; i < npol; ++i) {
+    PvncPolicy p;
+    p.kind = static_cast<PvncPolicy::Kind>(r.u8());
+    p.match = decode_match(r);
+    p.rate = Rate{r.i64()};
+    p.tos = r.u8();
+    p.gateway = Ipv4Addr(r.u32());
+    p.priority = static_cast<int>(r.u32());
+    pvnc.policies.push_back(p);
+  }
+  if (!r.ok()) return std::nullopt;
+  return pvnc;
+}
+
+std::vector<std::string> validate_pvnc(const Pvnc& pvnc,
+                                       const PvnStore* store) {
+  std::vector<std::string> problems;
+  if (pvnc.name.empty()) problems.push_back("pvnc has no name");
+  if (store != nullptr) {
+    for (const PvncModule& m : pvnc.chain) {
+      if (!store->has(m.store_name)) {
+        problems.push_back("unknown module: " + m.store_name);
+      }
+    }
+  }
+  // Duplicate modules are almost certainly a mistake.
+  std::vector<std::string> names = pvnc.module_names();
+  std::sort(names.begin(), names.end());
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    if (names[i] == names[i - 1]) {
+      problems.push_back("duplicate module: " + names[i]);
+    }
+  }
+  // Conflicting policies: identical matches with different kinds.
+  for (std::size_t i = 0; i < pvnc.policies.size(); ++i) {
+    for (std::size_t j = i + 1; j < pvnc.policies.size(); ++j) {
+      const PvncPolicy& a = pvnc.policies[i];
+      const PvncPolicy& b = pvnc.policies[j];
+      if (a.match == b.match && a.priority == b.priority && a.kind != b.kind) {
+        problems.push_back("conflicting policies at priority " +
+                           std::to_string(a.priority) + " on match " +
+                           a.match.to_string());
+      }
+    }
+  }
+  // Rate-limit policies need a positive rate.
+  for (const PvncPolicy& p : pvnc.policies) {
+    if (p.kind == PvncPolicy::Kind::kRateLimit &&
+        p.rate.bits_per_second <= 0) {
+      problems.push_back("rate-limit policy with non-positive rate");
+    }
+    if (p.kind == PvncPolicy::Kind::kTunnel && p.gateway.is_unspecified()) {
+      problems.push_back("tunnel policy with no gateway");
+    }
+  }
+  return problems;
+}
+
+Pvnc restrict_to_modules(const Pvnc& pvnc,
+                         const std::vector<std::string>& allowed) {
+  Pvnc out = pvnc;
+  out.chain.clear();
+  for (const PvncModule& m : pvnc.chain) {
+    if (std::find(allowed.begin(), allowed.end(), m.store_name) !=
+        allowed.end()) {
+      out.chain.push_back(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace pvn

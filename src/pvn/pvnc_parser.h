@@ -1,0 +1,35 @@
+// The user-facing PVNC text format (paper §3.1: "high-level tools that
+// compile user-readable configurations into low-level SDN code").
+//
+//   pvnc "alice-phone" {
+//     module tls-validator mode=block
+//     module pii-detector action=scrub
+//     policy drop proto=udp dport=1900
+//     policy rate tos=0x20 rate=1500kbps
+//     policy mark dport=80 tos=16
+//     policy tunnel dport=443 gateway=203.0.113.5
+//   }
+//
+// Lines starting with '#' are comments. Match fields accepted in policies:
+// src=<cidr> dst=<cidr> proto=tcp|udp sport=<n> dport=<n> tos=<n|0xNN>.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "pvn/pvnc.h"
+
+namespace pvn {
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+// Returns the parsed PVNC or the first error encountered.
+std::variant<Pvnc, ParseError> parse_pvnc(const std::string& text);
+
+// Inverse of parse_pvnc (canonical form); round-trips through the parser.
+std::string format_pvnc(const Pvnc& pvnc);
+
+}  // namespace pvn

@@ -1,0 +1,301 @@
+#include "pvn/server.h"
+
+#include <algorithm>
+
+#include "proto/http.h"
+
+namespace pvn {
+
+DeploymentServer::DeploymentServer(Host& host, PvnStore& store,
+                                   MboxHost& mbox_host, Controller& controller,
+                                   Ledger& ledger, ServerConfig cfg)
+    : host_(&host),
+      store_(&store),
+      mbox_host_(&mbox_host),
+      controller_(&controller),
+      ledger_(&ledger),
+      cfg_(std::move(cfg)) {
+  host_->bind_udp(kPvnPort, [this](Ipv4Addr src, Port sport, Port,
+                                   const Bytes& payload) {
+    on_packet(src, sport, payload);
+  });
+}
+
+DeploymentServer::~DeploymentServer() { host_->unbind_udp(kPvnPort); }
+
+void DeploymentServer::on_packet(Ipv4Addr src, Port sport,
+                                 const Bytes& payload) {
+  const auto msg = unwrap(payload);
+  if (!msg) return;
+  switch (msg->first) {
+    case PvnMsgType::kDiscovery: {
+      if (const auto dm = DiscoveryMessage::decode(msg->second)) {
+        handle_discovery(src, sport, *dm);
+      }
+      break;
+    }
+    case PvnMsgType::kDeployRequest: {
+      if (auto req = DeployRequest::decode(msg->second)) {
+        resolve_and_deploy(src, sport, std::move(*req));
+      }
+      break;
+    }
+    case PvnMsgType::kTeardown: {
+      if (const auto td = Teardown::decode(msg->second)) {
+        handle_teardown(src, sport, *td);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void DeploymentServer::handle_discovery(Ipv4Addr src, Port sport,
+                                        const DiscoveryMessage& dm) {
+  ++discoveries_;
+  // Standards must intersect.
+  bool standards_ok = false;
+  for (const std::string& s : dm.standards) {
+    if (std::find(cfg_.standards.begin(), cfg_.standards.end(), s) !=
+        cfg_.standards.end()) {
+      standards_ok = true;
+      break;
+    }
+  }
+  if (!standards_ok) return;  // unsupported devices get silence
+
+  Offer offer;
+  offer.seq = dm.seq;
+  offer.deployment_server = host_->addr();
+  offer.standards = cfg_.standards;
+  for (const std::string& module : dm.modules) {
+    if (!store_->has(module)) continue;
+    if (!cfg_.allowed_modules.empty() &&
+        !cfg_.allowed_modules.contains(module)) {
+      continue;
+    }
+    offer.offered_modules.push_back(module);
+  }
+  offer.total_price =
+      store_->price_of(offer.offered_modules) * cfg_.price_multiplier;
+  offer.expires_at = host_->sim().now() + cfg_.offer_ttl;
+  host_->send_udp(src, kPvnPort, sport,
+                  wrap(PvnMsgType::kOffer, offer.encode()));
+}
+
+void DeploymentServer::nack(Ipv4Addr dst, Port dport, std::uint32_t seq,
+                            const std::string& reason) {
+  ++nacks_;
+  DeployNack nack_msg;
+  nack_msg.seq = seq;
+  nack_msg.reason = reason;
+  host_->send_udp(dst, kPvnPort, dport,
+                  wrap(PvnMsgType::kDeployNack, nack_msg.encode()));
+}
+
+void DeploymentServer::resolve_and_deploy(Ipv4Addr src, Port sport,
+                                          DeployRequest req) {
+  if (req.pvnc_uri.empty()) {
+    handle_deploy(src, sport, req);
+    return;
+  }
+  Ipv4Addr storage;
+  std::string path;
+  if (!parse_pvnc_uri(req.pvnc_uri, storage, path)) {
+    nack(src, sport, req.seq, "malformed pvnc uri");
+    return;
+  }
+  if (http_ == nullptr) http_ = std::make_unique<HttpClient>(*host_);
+  http_->fetch(storage, 80, path,
+               [this, src, sport, req = std::move(req)](
+                   const HttpResponse& resp, const FetchTiming& t) mutable {
+                 if (!t.ok) {
+                   nack(src, sport, req.seq, "pvnc uri unreachable");
+                   return;
+                 }
+                 const auto fetched = Pvnc::decode(resp.body);
+                 if (!fetched) {
+                   nack(src, sport, req.seq, "pvnc uri object malformed");
+                   return;
+                 }
+                 req.pvnc = *fetched;
+                 // URI-mode deployments accept the provider's allowed
+                 // subset implicitly (the device never saw the offer
+                 // against this object's full module list).
+                 if (!cfg_.allowed_modules.empty()) {
+                   std::vector<std::string> allowed(
+                       cfg_.allowed_modules.begin(),
+                       cfg_.allowed_modules.end());
+                   req.pvnc = restrict_to_modules(req.pvnc, allowed);
+                 }
+                 req.pvnc_uri.clear();
+                 handle_deploy(src, sport, req);
+               });
+}
+
+void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
+                                     const DeployRequest& req) {
+  if (drop_deploys_) return;  // failure injection: silent server
+  // Validate against the store.
+  const std::vector<std::string> problems = validate_pvnc(req.pvnc, store_);
+  if (!problems.empty()) {
+    nack(src, sport, req.seq, "invalid pvnc: " + problems.front());
+    return;
+  }
+  // Policy check: every module must be allowed here.
+  for (const std::string& module : req.pvnc.module_names()) {
+    if (!cfg_.allowed_modules.empty() &&
+        !cfg_.allowed_modules.contains(module)) {
+      nack(src, sport, req.seq, "module not allowed: " + module);
+      return;
+    }
+  }
+  // Payment check.
+  const double price =
+      store_->price_of(req.pvnc.module_names()) * cfg_.price_multiplier;
+  if (req.payment + 1e-9 < price) {
+    nack(src, sport, req.seq, "insufficient payment");
+    return;
+  }
+  // Memory admission control.
+  if (mbox_host_->memory_in_use() + req.pvnc.est_memory_bytes() >
+      mbox_host_->memory_budget()) {
+    nack(src, sport, req.seq, "out of middlebox memory");
+    return;
+  }
+  // Tear down any previous deployment for this device.
+  if (deployments_.contains(req.device_id)) {
+    Teardown td;
+    td.device_id = req.device_id;
+    handle_teardown(src, 0, td);
+  }
+
+  const std::string chain_id =
+      "chain:" + req.device_id + ":" + std::to_string(chain_seq_++);
+  const std::string cookie = "pvn:" + req.device_id;
+
+  auto deployment = std::make_shared<Deployment>();
+  deployment->cookie = cookie;
+  deployment->chain_id = chain_id;
+  deployment->paid = price;
+
+  // Instantiate the chain's modules (each charges instantiation delay).
+  auto remaining = std::make_shared<int>(0);
+  auto failed = std::make_shared<bool>(false);
+  Chain& chain = mbox_host_->create_chain(chain_id);
+
+  const auto finish = [this, src, sport, req, deployment, chain_id, cookie,
+                       price, &chain]() {
+    // Program the switch.
+    DeploymentContext ctx;
+    ctx.device = src;
+    ctx.client_port = cfg_.client_port_for ? cfg_.client_port_for(src)
+                                           : cfg_.switch_client_port;
+    ctx.wan_port = cfg_.switch_wan_port;
+    ctx.chain_id = chain_id;
+    ctx.cookie = cookie;
+    ctx.control = host_->addr();
+    ctx.control_port = cfg_.switch_control_port;
+    const CompiledPvnc compiled = compile_pvnc(req.pvnc, ctx);
+
+    SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name);
+    if (sw == nullptr) {
+      nack(src, sport, req.seq, "no dataplane");
+      return;
+    }
+    sw->register_processor(chain_id, &chain);
+    for (const MeterSpec& meter : compiled.meters) {
+      controller_->add_meter(cfg_.switch_name, meter.id, meter.rate,
+                             meter.burst_bytes);
+    }
+    auto pending = std::make_shared<int>(static_cast<int>(compiled.rules.size()));
+    for (const auto& [table, rule] : compiled.rules) {
+      controller_->install_rule(
+          cfg_.switch_name, table, rule,
+          [this, pending, src, sport, req, deployment, price](bool ok) {
+            (void)ok;
+            if (--*pending > 0) return;
+            // All rules in: acknowledge and bill.
+            deployments_[req.device_id] = *deployment;
+            ++deploy_count_;
+            ledger_->charge(host_->sim().now(), req.device_id,
+                            cfg_.network_name, price,
+                            "pvn deployment " + deployment->chain_id);
+            DeployAck ack;
+            ack.seq = req.seq;
+            ack.chain_id = deployment->chain_id;
+            host_->send_udp(src, kPvnPort, sport,
+                            wrap(PvnMsgType::kDeployAck, ack.encode()));
+          });
+    }
+    if (compiled.rules.empty()) {
+      deployments_[req.device_id] = *deployment;
+      ++deploy_count_;
+      DeployAck ack;
+      ack.seq = req.seq;
+      ack.chain_id = deployment->chain_id;
+      host_->send_udp(src, kPvnPort, sport,
+                      wrap(PvnMsgType::kDeployAck, ack.encode()));
+    }
+  };
+
+  std::vector<PvncModule> to_instantiate;
+  for (const PvncModule& module : req.pvnc.chain) {
+    if (module.store_name == skip_module_) continue;  // dishonest ISP model
+    to_instantiate.push_back(module);
+  }
+  *remaining = static_cast<int>(to_instantiate.size());
+  if (to_instantiate.empty()) {
+    finish();
+    return;
+  }
+  for (const PvncModule& module : to_instantiate) {
+    std::unique_ptr<Middlebox> instance =
+        store_->make(module.store_name, module.params);
+    if (instance == nullptr) {
+      nack(src, sport, req.seq, "cannot instantiate " + module.store_name);
+      return;
+    }
+    mbox_host_->instantiate(
+        std::move(instance),
+        [this, remaining, failed, deployment, finish, src, sport,
+         req](Middlebox* mbox) {
+          if (*failed) return;
+          if (mbox == nullptr) {
+            *failed = true;
+            nack(src, sport, req.seq, "out of middlebox memory");
+            return;
+          }
+          deployment->instances.push_back(mbox);
+          if (--*remaining == 0) {
+            // Preserve chain order: instances may be appended out of
+            // order only if instantiation delays differ; they do not.
+            Chain* chain = mbox_host_->chain(deployment->chain_id);
+            for (Middlebox* m : deployment->instances) chain->append(m);
+            finish();
+          }
+        });
+  }
+}
+
+void DeploymentServer::handle_teardown(Ipv4Addr src, Port sport,
+                                       const Teardown& td) {
+  const auto it = deployments_.find(td.device_id);
+  if (it != deployments_.end()) {
+    const Deployment& dep = it->second;
+    controller_->remove_by_cookie(dep.cookie);
+    if (SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name)) {
+      sw->unregister_processor(dep.chain_id);
+    }
+    for (Middlebox* m : dep.instances) mbox_host_->destroy(m);
+    mbox_host_->destroy_chain(dep.chain_id);
+    deployments_.erase(it);
+  }
+  if (sport != 0) {
+    host_->send_udp(src, kPvnPort, sport,
+                    wrap(PvnMsgType::kTeardownAck, Bytes{}));
+  }
+}
+
+}  // namespace pvn

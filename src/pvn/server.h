@@ -1,0 +1,94 @@
+// The access network's PVN deployment server (paper §3.1, Fig. 1b).
+//
+// Listens for discovery messages, emits offers (possibly for a subset of the
+// requested modules, priced from the PVN Store), and on a deployment request
+// compiles the PVNC, instantiates the middlebox chain on the MboxHost,
+// programs the SdnSwitch through the Controller, and acknowledges.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "mbox/host.h"
+#include "mbox/registry.h"
+#include "proto/host.h"
+#include "pvn/billing.h"
+#include "pvn/compiler.h"
+#include "pvn/discovery.h"
+#include "sdn/controller.h"
+
+namespace pvn {
+
+struct ServerConfig {
+  std::vector<std::string> standards = {"openflow-lite", "mbox-v1"};
+  // Modules this network will deploy; empty = everything in the store.
+  // Models the "partial PVN configuration" case (§3.3).
+  std::set<std::string> allowed_modules;
+  double price_multiplier = 1.0;
+  SimDuration offer_ttl = seconds(30);
+  std::string switch_name;
+  int switch_client_port = 0;
+  int switch_wan_port = 1;
+  int switch_control_port = 2;
+  // Multi-device access networks: maps a device address to the switch port
+  // it sits behind. When unset, switch_client_port is used for everyone.
+  std::function<int(Ipv4Addr)> client_port_for;
+  std::string network_name = "access-net";
+};
+
+class DeploymentServer {
+ public:
+  DeploymentServer(Host& host, PvnStore& store, MboxHost& mbox_host,
+                   Controller& controller, Ledger& ledger, ServerConfig cfg);
+  ~DeploymentServer();
+
+  std::uint64_t discoveries_seen() const { return discoveries_; }
+  std::uint64_t deployments_active() const { return deployments_.size(); }
+  std::uint64_t deployments_total() const { return deploy_count_; }
+  std::uint64_t nacks_sent() const { return nacks_; }
+
+  // Test/experiment hook: makes the server a cheater that silently skips
+  // instantiating the named module while still charging for it (§3.3
+  // "Validating that configurations ... are correctly deployed").
+  void cheat_skip_module(const std::string& module) { skip_module_ = module; }
+
+  // Failure-injection hook: the server goes silent on deployment requests
+  // (answers discovery, never acks) — exercises the client's deploy timeout.
+  void drop_deploy_requests(bool drop) { drop_deploys_ = drop; }
+
+ private:
+  struct Deployment {
+    std::string cookie;
+    std::string chain_id;
+    std::vector<Middlebox*> instances;
+    double paid = 0.0;
+  };
+
+  void on_packet(Ipv4Addr src, Port sport, const Bytes& payload);
+  void handle_discovery(Ipv4Addr src, Port sport, const DiscoveryMessage& dm);
+  // Resolves a pvnc:// URI (fetching the object from cloud storage) before
+  // handing the request to handle_deploy.
+  void resolve_and_deploy(Ipv4Addr src, Port sport, DeployRequest req);
+  void handle_deploy(Ipv4Addr src, Port sport, const DeployRequest& req);
+  void handle_teardown(Ipv4Addr src, Port sport, const Teardown& td);
+  void nack(Ipv4Addr dst, Port dport, std::uint32_t seq,
+            const std::string& reason);
+
+  Host* host_;
+  PvnStore* store_;
+  MboxHost* mbox_host_;
+  Controller* controller_;
+  Ledger* ledger_;
+  ServerConfig cfg_;
+  std::map<std::string, Deployment> deployments_;  // by device id
+  std::uint64_t discoveries_ = 0;
+  std::uint64_t deploy_count_ = 0;
+  std::uint64_t nacks_ = 0;
+  std::uint64_t chain_seq_ = 0;
+  std::string skip_module_;
+  bool drop_deploys_ = false;
+  std::unique_ptr<class HttpClient> http_;  // for pvnc:// URI resolution
+};
+
+}  // namespace pvn

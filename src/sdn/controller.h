@@ -1,0 +1,44 @@
+// A minimal SDN controller: the management-plane entry point the PVN
+// DeploymentServer uses to program switches. Models control-channel latency
+// so deployment-time measurements (experiment E4/E8) include it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sdn/switch.h"
+
+namespace pvn {
+
+class Controller {
+ public:
+  explicit Controller(Simulator& sim, SimDuration control_rtt = milliseconds(2))
+      : sim_(&sim), control_rtt_(control_rtt) {}
+
+  void manage(SdnSwitch& sw) { switches_[sw.name()] = &sw; }
+  SdnSwitch* switch_by_name(const std::string& name);
+
+  // Installs a rule after one control-channel RTT; invokes `done` when the
+  // switch has applied it.
+  void install_rule(const std::string& switch_name, int table, FlowRule rule,
+                    std::function<void(bool)> done = nullptr);
+
+  // Removes all rules with `cookie` on every managed switch (all tables).
+  void remove_by_cookie(const std::string& cookie,
+                        std::function<void(std::size_t)> done = nullptr);
+
+  void add_meter(const std::string& switch_name, const std::string& meter_id,
+                 Rate rate, std::int64_t burst_bytes,
+                 std::function<void(bool)> done = nullptr);
+
+  std::uint64_t rules_installed() const { return rules_installed_; }
+
+ private:
+  Simulator* sim_;
+  SimDuration control_rtt_;
+  std::map<std::string, SdnSwitch*> switches_;
+  std::uint64_t rules_installed_ = 0;
+};
+
+}  // namespace pvn

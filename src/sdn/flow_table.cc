@@ -1,0 +1,47 @@
+#include "sdn/flow_table.h"
+
+#include <algorithm>
+
+namespace pvn {
+
+void FlowTable::add(FlowRule rule) {
+  // Find insertion position: ordered by priority desc, then specificity
+  // desc, then insertion order (stable).
+  const int prio = rule.priority;
+  const int spec = rule.match.specificity();
+  auto it = rules_.begin();
+  auto oit = order_.begin();
+  for (; it != rules_.end(); ++it, ++oit) {
+    if (it->priority < prio) break;
+    if (it->priority == prio && it->match.specificity() < spec) break;
+  }
+  oit = order_.insert(oit, seq_++);
+  rules_.insert(it, std::move(rule));
+  (void)oit;
+}
+
+std::size_t FlowTable::remove_by_cookie(const std::string& cookie) {
+  std::size_t removed = 0;
+  for (std::size_t i = rules_.size(); i-- > 0;) {
+    if (rules_[i].cookie == cookie) {
+      rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(i));
+      order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+const FlowRule* FlowTable::lookup(const Packet& pkt, int in_port) const {
+  for (const FlowRule& rule : rules_) {
+    if (rule.match.matches(pkt, in_port)) {
+      ++rule.hit_packets;
+      rule.hit_bytes += pkt.size();
+      return &rule;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+}  // namespace pvn

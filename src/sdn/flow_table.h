@@ -1,0 +1,50 @@
+// A priority flow table: the core SDN data structure PVNCs compile into.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sdn/action.h"
+#include "sdn/match.h"
+
+namespace pvn {
+
+struct FlowRule {
+  int priority = 0;
+  FlowMatch match;
+  ActionList actions;
+  std::string cookie;  // owner tag, e.g. "pvn:<device>" — enables teardown
+
+  // Counters.
+  mutable std::uint64_t hit_packets = 0;
+  mutable std::uint64_t hit_bytes = 0;
+};
+
+class FlowTable {
+ public:
+  // Inserts a rule; rules are kept ordered by (priority desc,
+  // specificity desc, insertion order).
+  void add(FlowRule rule);
+
+  // Removes all rules with the given cookie; returns how many.
+  std::size_t remove_by_cookie(const std::string& cookie);
+  void clear() { rules_.clear(); }
+
+  // Highest-priority matching rule, or nullptr (table miss). Updates the
+  // rule's counters.
+  const FlowRule* lookup(const Packet& pkt, int in_port) const;
+
+  std::size_t size() const { return rules_.size(); }
+  const std::vector<FlowRule>& rules() const { return rules_; }
+
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::vector<FlowRule> rules_;
+  std::uint64_t seq_ = 0;
+  std::vector<std::uint64_t> order_;  // parallel to rules_: insertion seq
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace pvn

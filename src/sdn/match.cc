@@ -1,0 +1,48 @@
+#include "sdn/match.h"
+
+namespace pvn {
+
+bool FlowMatch::matches(const Packet& pkt, int in_port_no) const {
+  if (in_port && *in_port != in_port_no) return false;
+  if (src && !src->contains(pkt.ip.src)) return false;
+  if (dst && !dst->contains(pkt.ip.dst)) return false;
+  if (proto && *proto != pkt.ip.proto) return false;
+  if (tos && *tos != pkt.ip.tos) return false;
+  if (src_port || dst_port) {
+    Port sp = 0, dp = 0;
+    if (!peek_ports(static_cast<std::uint8_t>(pkt.ip.proto), pkt.l4, sp, dp)) {
+      return false;
+    }
+    if (src_port && *src_port != sp) return false;
+    if (dst_port && *dst_port != dp) return false;
+  }
+  return true;
+}
+
+int FlowMatch::specificity() const {
+  int n = 0;
+  n += in_port.has_value();
+  n += src.has_value() ? 1 + src->len / 8 : 0;
+  n += dst.has_value() ? 1 + dst->len / 8 : 0;
+  n += proto.has_value();
+  n += src_port.has_value();
+  n += dst_port.has_value();
+  n += tos.has_value();
+  return n;
+}
+
+std::string FlowMatch::to_string() const {
+  std::string out = "{";
+  if (in_port) out += "in:" + std::to_string(*in_port) + " ";
+  if (src) out += "src:" + src->to_string() + " ";
+  if (dst) out += "dst:" + dst->to_string() + " ";
+  if (proto) out += std::string("proto:") + pvn::to_string(*proto) + " ";
+  if (src_port) out += "sport:" + std::to_string(*src_port) + " ";
+  if (dst_port) out += "dport:" + std::to_string(*dst_port) + " ";
+  if (tos) out += "tos:" + std::to_string(*tos) + " ";
+  if (out.size() > 1 && out.back() == ' ') out.pop_back();
+  out += "}";
+  return out;
+}
+
+}  // namespace pvn

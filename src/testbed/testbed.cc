@@ -1,0 +1,157 @@
+#include "testbed/testbed.h"
+
+namespace pvn {
+
+Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
+  // --- nodes ---
+  client = &net.add_node<Host>("client", addrs.client);
+  control = &net.add_node<Host>("control", addrs.control);
+  web = &net.add_node<Host>("web", addrs.web);
+  video = &net.add_node<Host>("video", addrs.video);
+  dns_host = &net.add_node<Host>("dns", addrs.dns);
+  tracker = &net.add_node<Host>("tracker", addrs.tracker);
+  malicious = &net.add_node<Host>("malicious", addrs.malicious);
+  cloud_gw = &net.add_node<VpnGateway>("cloud-gw", addrs.cloud_gw,
+                                       tunnel_key());
+  access_sw = &net.add_node<SdnSwitch>(kSwitchName, 2);
+  wan = &net.add_node<Router>("wan");
+
+  // --- links ---
+  access_link = &net.connect(*client, *access_sw, cfg.access);  // sw p0
+  net.connect(*access_sw, *wan, cfg.backhaul);                  // sw p1
+  net.connect(*access_sw, *control, cfg.backhaul);              // sw p2
+  net.connect(*wan, *web, cfg.server_link);      // wan p1
+  net.connect(*wan, *video, cfg.server_link);    // wan p2
+  net.connect(*wan, *dns_host, cfg.server_link); // wan p3
+  net.connect(*wan, *tracker, cfg.server_link);  // wan p4
+  net.connect(*wan, *malicious, cfg.server_link);// wan p5
+  LinkParams cloud_link = cfg.server_link;
+  cloud_link.latency = cfg.server_link.latency + cfg.cloud_extra_latency;
+  net.connect(*wan, *cloud_gw, cloud_link);      // wan p6
+
+  // --- routing ---
+  wan->add_route(*Prefix::parse("10.0.0.0/24"), 0);
+  wan->add_route(Prefix{addrs.web, 32}, 1);
+  wan->add_route(Prefix{addrs.video, 32}, 2);
+  wan->add_route(Prefix{addrs.dns, 32}, 3);
+  wan->add_route(Prefix{addrs.tracker, 32}, 4);
+  wan->add_route(Prefix{addrs.malicious, 32}, 5);
+  wan->add_route(Prefix{addrs.cloud_gw, 32}, 6);
+  // Cloud gateway reaches the world back through the wan router.
+
+  // Infrastructure rules: plain L3 forwarding at the lowest priority.
+  {
+    FlowRule to_control;
+    to_control.priority = 0;
+    to_control.match.dst = Prefix{addrs.control, 32};
+    to_control.cookie = "infra";
+    to_control.actions.push_back(ActOutput{2});
+    access_sw->table(0).add(to_control);
+
+    FlowRule to_client;
+    to_client.priority = 0;
+    to_client.match.dst = *Prefix::parse("10.0.0.0/24");
+    to_client.cookie = "infra";
+    to_client.actions.push_back(ActOutput{0});
+    access_sw->table(0).add(to_client);
+
+    FlowRule to_wan;
+    to_wan.priority = 0;
+    to_wan.cookie = "infra";
+    to_wan.actions.push_back(ActOutput{1});
+    access_sw->table(0).add(to_wan);
+  }
+  // Tunnel encapsulation hook for ActTunnel (Fig. 1c), and the matching
+  // decapsulation of returning ESP traffic from the cloud gateway.
+  access_sw->set_tunnel_encap([this](Packet inner, Ipv4Addr gateway) {
+    static std::uint32_t seq = 0;
+    return esp_encap(inner, Ipv4Addr(10, 0, 0, 1), gateway, tunnel_key(),
+                     /*spi=*/1, ++seq);
+  });
+  esp_decap_proc = std::make_unique<EspDecapProcessor>(tunnel_key());
+  access_sw->register_processor("esp-decap", esp_decap_proc.get());
+  {
+    FlowRule decap;
+    decap.priority = 20000;
+    decap.match.proto = IpProto::kEsp;
+    decap.match.dst = *Prefix::parse("10.0.0.1");
+    decap.cookie = "infra";
+    decap.actions.push_back(ActMbox{"esp-decap"});
+    decap.actions.push_back(ActOutput{0});
+    access_sw->table(0).add(decap);
+  }
+
+  // --- security environment ---
+  root_ca = std::make_unique<CertificateAuthority>("TestbedRootCA", 11);
+  web_tls_key = std::make_unique<KeyPair>(12);
+  trust.trust_root(*root_ca);
+  dns_trusted.trust(dns_zone_key);
+
+  // --- servers ---
+  web_http = std::make_unique<HttpServer>(*web);
+  video_http = std::make_unique<HttpServer>(*video);
+  install_video_server(*video_http, 250 * 1000);
+  tracker_http = std::make_unique<HttpServer>(*tracker);
+  dns_server = std::make_unique<DnsServer>(*dns_host, &dns_zone_key);
+  dns_server->add_record("web.example", addrs.web);
+  dns_server->add_record("video.example", addrs.video);
+  // A replicated CDN service: authoritative DNS hands out the far replica;
+  // the replica-selector module can steer clients to the near one.
+  dns_server->add_record("cdn.example", addrs.video, 300, /*sign=*/false);
+
+  // --- PVN services on the control host ---
+  store_env.tls_trust = &trust;
+  store_env.dns_zone_keys = &dns_trusted;
+  store_env.dns_zone_key_id = dns_zone_key.public_key();
+  store_env.dns_pins = {{"web.example", addrs.web}};
+  store_env.dns_require_signed = {"bank.example"};
+  store_env.tracker_addrs = {addrs.tracker};
+  store_env.pii_patterns = {"imei=", "lat=", "password=", "email="};
+  store_env.malware_signatures = {to_bytes("EVIL_SHELLCODE")};
+  store_env.replica_services = {{"cdn.example", {addrs.web, addrs.video}}};
+  store_env.replica_rtt = {{addrs.web, milliseconds(20)},
+                           {addrs.video, milliseconds(90)}};
+  store = std::make_unique<PvnStore>(make_standard_store(store_env));
+
+  mbox_host = std::make_unique<MboxHost>(net.sim());
+  controller = std::make_unique<Controller>(net.sim());
+  controller->manage(*access_sw);
+  ledger = std::make_unique<Ledger>();
+
+  ServerConfig scfg;
+  scfg.switch_name = kSwitchName;
+  scfg.switch_client_port = 0;
+  scfg.switch_wan_port = 1;
+  scfg.allowed_modules = cfg.allowed_modules;
+  scfg.price_multiplier = cfg.price_multiplier;
+  server = std::make_unique<DeploymentServer>(*control, *store, *mbox_host,
+                                              *controller, *ledger, scfg);
+
+  dhcp = std::make_unique<DhcpServer>(*control, Ipv4Addr(10, 0, 0, 50), 100);
+  dhcp->advertise_pvn(addrs.control, "openflow-lite,mbox-v1");
+}
+
+Pvnc Testbed::standard_pvnc(const std::string& owner) const {
+  Pvnc pvnc;
+  pvnc.name = owner;
+  pvnc.chain.push_back(PvncModule{"tls-validator", {{"mode", "block"}}});
+  pvnc.chain.push_back(PvncModule{"dns-validator", {{"mode", "block"}}});
+  pvnc.chain.push_back(PvncModule{"pii-detector", {{"action", "block"}}});
+  pvnc.chain.push_back(PvncModule{"tracker-blocker", {}});
+  return pvnc;
+}
+
+DeployOutcome Testbed::deploy(const Pvnc& pvnc, ClientConfig ccfg) {
+  PvnClient agent(*client, pvnc, ccfg);
+  DeployOutcome outcome;
+  bool done = false;
+  agent.discover_and_deploy(addrs.control, [&](const DeployOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  net.sim().run_until(net.sim().now() + seconds(30));
+  (void)done;
+  return outcome;
+}
+
+}  // namespace pvn

@@ -1,0 +1,119 @@
+// The canonical experiment topology used by integration tests, benchmarks,
+// and examples — one "PVN-capable access network" in a box:
+//
+//   client ──p0─ [access SdnSwitch] ─p1── wan Router ──┬── web server
+//                      │p2                             ├── video server
+//              control Host                            ├── dns resolver
+//        (DHCP + DeploymentServer +                    ├── tracker
+//         Controller + MboxHost + Store)               ├── malicious host
+//                                                      └── cloud gateway
+//
+// The switch starts with two low-priority infrastructure rules (plain
+// routing); PVN deployments layer their cookie-scoped rules on top.
+#pragma once
+
+#include <memory>
+
+#include "audit/measurements.h"
+#include "audit/reputation.h"
+#include "mbox/proxies.h"
+#include "netsim/router.h"
+#include "proto/dhcp.h"
+#include "proto/dns.h"
+#include "proto/tls.h"
+#include "pvn/client.h"
+#include "pvn/server.h"
+#include "tunnel/vpn.h"
+#include "workload/generators.h"
+
+namespace pvn {
+
+struct TestbedConfig {
+  LinkParams access;       // client <-> switch
+  LinkParams backhaul;     // switch <-> wan router
+  LinkParams server_link;  // wan router <-> each server
+  SimDuration cloud_extra_latency = milliseconds(40);  // wan <-> cloud
+  std::uint64_t seed = 1;
+  // Provider behaviour knobs.
+  std::set<std::string> allowed_modules;  // empty = all
+  double price_multiplier = 1.0;
+
+  TestbedConfig() {
+    access.rate = Rate::mbps(50);
+    access.latency = milliseconds(8);
+    backhaul.rate = Rate::mbps(1000);
+    backhaul.latency = milliseconds(2);
+    server_link.rate = Rate::mbps(1000);
+    server_link.latency = milliseconds(10);
+  }
+};
+
+// Well-known addresses in the testbed.
+struct TestbedAddrs {
+  Ipv4Addr client{10, 0, 0, 2};
+  Ipv4Addr control{10, 0, 0, 5};
+  Ipv4Addr web{93, 184, 216, 34};
+  Ipv4Addr video{93, 184, 216, 35};
+  Ipv4Addr dns{8, 8, 8, 8};
+  Ipv4Addr tracker{6, 6, 6, 6};
+  Ipv4Addr malicious{66, 6, 6, 6};
+  Ipv4Addr cloud_gw{203, 0, 113, 5};
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg = {});
+
+  // --- topology ---
+  Network net;
+  TestbedAddrs addrs;
+  Host* client = nullptr;
+  Host* control = nullptr;
+  Host* web = nullptr;
+  Host* video = nullptr;
+  Host* dns_host = nullptr;
+  Host* tracker = nullptr;
+  Host* malicious = nullptr;
+  VpnGateway* cloud_gw = nullptr;
+  SdnSwitch* access_sw = nullptr;
+  Router* wan = nullptr;
+  Link* access_link = nullptr;
+
+  // --- access-network services ---
+  std::unique_ptr<PvnStore> store;
+  std::unique_ptr<MboxHost> mbox_host;
+  std::unique_ptr<Controller> controller;
+  std::unique_ptr<Ledger> ledger;
+  std::unique_ptr<DeploymentServer> server;
+  std::unique_ptr<DhcpServer> dhcp;
+  std::unique_ptr<DnsServer> dns_server;
+  std::unique_ptr<EspDecapProcessor> esp_decap_proc;
+
+  // --- content / security environment ---
+  std::unique_ptr<CertificateAuthority> root_ca;
+  std::unique_ptr<KeyPair> web_tls_key;
+  TrustStore trust;           // what a well-configured device trusts
+  KeyPair dns_zone_key{777};
+  KeyRegistry dns_trusted;
+  std::unique_ptr<HttpServer> web_http;
+  std::unique_ptr<HttpServer> video_http;
+  std::unique_ptr<HttpServer> tracker_http;
+
+  static constexpr const char* kSwitchName = "access-sw";
+  static Bytes tunnel_key() { return to_bytes("testbed-tunnel-key"); }
+
+  // Deploys `pvnc` for the client through the full discovery protocol and
+  // runs the simulation until the outcome lands. Returns it.
+  DeployOutcome deploy(const Pvnc& pvnc, ClientConfig ccfg = {});
+
+  // The standard experiment PVNC (validators + pii + tracker blocking).
+  Pvnc standard_pvnc(const std::string& owner = "alice-phone") const;
+
+  // Store environment used (exposed so tests can extend it).
+  StoreEnvironment store_env;
+
+ private:
+  TestbedConfig cfg_;
+};
+
+}  // namespace pvn

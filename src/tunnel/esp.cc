@@ -1,0 +1,62 @@
+#include "tunnel/esp.h"
+
+namespace pvn {
+
+Packet esp_encap(const Packet& inner, Ipv4Addr outer_src, Ipv4Addr gateway,
+                 const Bytes& key, std::uint32_t spi, std::uint32_t seq) {
+  ByteWriter inner_bytes;
+  inner.ip.encode(inner_bytes);
+  inner_bytes.raw(inner.l4);
+
+  const Digest mac = hmac(key, inner_bytes.bytes());
+
+  ByteWriter w;
+  w.u32(spi);
+  w.u32(seq);
+  w.blob(inner_bytes.bytes());
+  w.raw(mac.to_bytes());
+
+  Packet outer;
+  outer.id = inner.id;  // preserve identity for tracing
+  outer.ip.src = outer_src;
+  outer.ip.dst = gateway;
+  outer.ip.proto = IpProto::kEsp;
+  outer.ip.tos = 0;  // tunnels hide the inner class (tunneled traffic may be
+                     // subject to different ISP policies — §3.2)
+  outer.l4 = std::move(w).take();
+  outer.created_at = inner.created_at;
+  outer.hop_trace = inner.hop_trace;
+  return outer;
+}
+
+std::optional<Packet> esp_decap(const Packet& outer, const Bytes& key) {
+  if (outer.ip.proto != IpProto::kEsp) return std::nullopt;
+  ByteReader r(outer.l4);
+  r.u32();  // spi
+  r.u32();  // seq
+  const Bytes inner_bytes = r.blob();
+  const Bytes mac_bytes = r.raw(32);
+  if (!r.ok()) return std::nullopt;
+  const auto mac = Digest::from_bytes(mac_bytes);
+  if (!mac || hmac(key, inner_bytes) != *mac) return std::nullopt;
+
+  ByteReader ir(inner_bytes);
+  Packet inner;
+  inner.id = outer.id;
+  inner.ip = IpHeader::decode(ir);
+  inner.l4 = ir.raw(ir.remaining());
+  if (!ir.ok()) return std::nullopt;
+  inner.created_at = outer.created_at;
+  inner.hop_trace = outer.hop_trace;
+  return inner;
+}
+
+std::optional<std::uint32_t> esp_peek_spi(const Packet& outer) {
+  if (outer.ip.proto != IpProto::kEsp || outer.l4.size() < 4) {
+    return std::nullopt;
+  }
+  ByteReader r(outer.l4);
+  return r.u32();
+}
+
+}  // namespace pvn

@@ -1,0 +1,91 @@
+#include "tunnel/locator.h"
+
+#include <algorithm>
+
+namespace pvn {
+
+void install_echo_responder(Host& host) {
+  Host* h = &host;
+  host.bind_udp(kEchoPort, [h](Ipv4Addr src, Port sport, Port,
+                               const Bytes& payload) {
+    h->send_udp(src, kEchoPort, sport, payload);
+  });
+}
+
+RemotePvnLocator::RemotePvnLocator(Host& host) : host_(&host) {
+  host_->bind_udp(local_port_, [this](Ipv4Addr src, Port, Port,
+                                      const Bytes& payload) {
+    on_echo(src, payload);
+  });
+}
+
+void RemotePvnLocator::probe(const std::vector<Ipv4Addr>& candidates,
+                             Callback cb, int echoes_per_candidate,
+                             SimDuration timeout) {
+  results_.clear();
+  outstanding_.clear();
+  cb_ = std::move(cb);
+  pending_ = 0;
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ProbeResult r;
+    r.candidate = candidates[i];
+    results_.push_back(r);
+    for (int e = 0; e < echoes_per_candidate; ++e) {
+      const std::uint64_t token = next_token_++;
+      outstanding_[token] = {i, host_->sim().now()};
+      ++pending_;
+      ByteWriter w;
+      w.u64(token);
+      host_->send_udp(candidates[i], local_port_, kEchoPort,
+                      std::move(w).take());
+    }
+  }
+  timer_ = host_->sim().schedule_after(timeout, [this] {
+    timer_ = kInvalidEventId;
+    finish();
+  });
+}
+
+void RemotePvnLocator::on_echo(Ipv4Addr src, const Bytes& payload) {
+  (void)src;
+  ByteReader r(payload);
+  const std::uint64_t token = r.u64();
+  const auto it = outstanding_.find(token);
+  if (it == outstanding_.end()) return;
+  const auto [index, sent_at] = it->second;
+  outstanding_.erase(it);
+  ProbeResult& result = results_[index];
+  const SimDuration rtt = host_->sim().now() - sent_at;
+  if (!result.reachable || rtt < result.rtt) {
+    result.reachable = true;
+    result.rtt = rtt;
+  }
+  if (--pending_ == 0) finish();
+}
+
+void RemotePvnLocator::finish() {
+  if (!cb_) return;
+  if (timer_ != kInvalidEventId) {
+    host_->sim().cancel(timer_);
+    timer_ = kInvalidEventId;
+  }
+  std::stable_sort(results_.begin(), results_.end(),
+                   [](const ProbeResult& a, const ProbeResult& b) {
+                     if (a.reachable != b.reachable) return a.reachable;
+                     return a.rtt < b.rtt;
+                   });
+  Callback cb = std::move(cb_);
+  cb_ = nullptr;
+  cb(results_);
+}
+
+const ProbeResult* RemotePvnLocator::best(
+    const std::vector<ProbeResult>& results) {
+  for (const ProbeResult& r : results) {
+    if (r.reachable) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace pvn

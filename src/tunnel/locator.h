@@ -1,0 +1,53 @@
+// Remote-PVN locator (paper §3.3 "Coping with unavailability"): probes
+// candidate PVN-supporting networks with UDP echoes and ranks them by
+// measured RTT so the device can tunnel to the cheapest one.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "proto/host.h"
+
+namespace pvn {
+
+constexpr Port kEchoPort = 7;
+
+// Binds a UDP echo responder on a host (candidate networks run this).
+void install_echo_responder(Host& host);
+
+struct ProbeResult {
+  Ipv4Addr candidate;
+  bool reachable = false;
+  SimDuration rtt = 0;
+};
+
+class RemotePvnLocator {
+ public:
+  explicit RemotePvnLocator(Host& host);
+
+  using Callback = std::function<void(const std::vector<ProbeResult>&)>;
+
+  // Probes every candidate (N echoes each, keeping the minimum RTT) and
+  // reports results sorted by RTT, unreachable last.
+  void probe(const std::vector<Ipv4Addr>& candidates, Callback cb,
+             int echoes_per_candidate = 3,
+             SimDuration timeout = milliseconds(800));
+
+  // Convenience: the best (lowest-RTT reachable) candidate, if any.
+  static const ProbeResult* best(const std::vector<ProbeResult>& results);
+
+ private:
+  void on_echo(Ipv4Addr src, const Bytes& payload);
+  void finish();
+
+  Host* host_;
+  Port local_port_ = 7070;
+  std::vector<ProbeResult> results_;
+  std::map<std::uint64_t, std::pair<std::size_t, SimTime>> outstanding_;
+  int pending_ = 0;
+  Callback cb_;
+  EventId timer_ = kInvalidEventId;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace pvn

@@ -1,0 +1,80 @@
+#include "tunnel/vpn.h"
+
+namespace pvn {
+
+TunnelIngress::TunnelIngress(Network& net, std::string name, Ipv4Addr self,
+                             Ipv4Addr gateway, Bytes key)
+    : Node(net, std::move(name)),
+      self_(self),
+      gateway_(gateway),
+      key_(std::move(key)),
+      selector_([](const Packet&) { return true; }) {}
+
+void TunnelIngress::handle_packet(Packet pkt, int in_port) {
+  if (in_port == 0) {
+    // Client -> WAN.
+    if (selector_(pkt)) {
+      ++tunneled_;
+      Packet outer = esp_encap(pkt, self_, gateway_, key_, /*spi=*/1, ++seq_);
+      send(1, std::move(outer));
+    } else {
+      ++bypassed_;
+      send(1, std::move(pkt));
+    }
+    return;
+  }
+  // WAN -> client.
+  if (pkt.ip.proto == IpProto::kEsp && pkt.ip.dst == self_) {
+    if (auto inner = esp_decap(pkt, key_)) {
+      send(0, std::move(*inner));
+    }
+    return;
+  }
+  send(0, std::move(pkt));
+}
+
+VpnGateway::VpnGateway(Network& net, std::string name, Ipv4Addr addr,
+                       Bytes key)
+    : Node(net, std::move(name)), addr_(addr), key_(std::move(key)) {}
+
+void VpnGateway::handle_packet(Packet pkt, int in_port) {
+  (void)in_port;
+  if (pkt.ip.proto == IpProto::kEsp && pkt.ip.dst == addr_) {
+    auto inner = esp_decap(pkt, key_);
+    if (!inner) {
+      ++auth_fail_;
+      return;
+    }
+    ++decap_;
+    // Source-NAT so replies come back to this gateway.
+    Port sport = 0, dport = 0;
+    peek_ports(static_cast<std::uint8_t>(inner->ip.proto), inner->l4, sport,
+               dport);
+    nat_[NatKey{inner->ip.dst, dport, sport,
+                static_cast<std::uint8_t>(inner->ip.proto)}] = inner->ip.src;
+    client_via_[inner->ip.src] = pkt.ip.src;
+    inner->ip.src = addr_;
+    send(0, std::move(*inner));
+    return;
+  }
+
+  if (pkt.ip.dst == addr_) {
+    // A reply to a NAT'd flow: map back and re-encapsulate to the client.
+    Port sport = 0, dport = 0;
+    peek_ports(static_cast<std::uint8_t>(pkt.ip.proto), pkt.l4, sport, dport);
+    const auto it = nat_.find(NatKey{pkt.ip.src, sport, dport,
+                                     static_cast<std::uint8_t>(pkt.ip.proto)});
+    if (it == nat_.end()) return;
+    const Ipv4Addr client = it->second;
+    Packet inner = pkt;
+    inner.ip.dst = client;
+    const auto via = client_via_.find(client);
+    if (via == client_via_.end()) return;
+    ++reencap_;
+    Packet outer = esp_encap(inner, addr_, via->second, key_, /*spi=*/1, ++seq_);
+    send(0, std::move(outer));
+    return;
+  }
+}
+
+}  // namespace pvn

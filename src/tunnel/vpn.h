@@ -1,0 +1,108 @@
+// VPN tunnel endpoints.
+//
+//   TunnelIngress — a bump-in-the-wire node on the client's path that
+//     encapsulates matching traffic toward a remote VpnGateway. Also usable
+//     as the SdnSwitch's ActTunnel encapsulator.
+//   VpnGateway — terminates tunnels in a remote/cloud network: decapsulates,
+//     source-NATs the inner packet so replies return to the gateway, and
+//     re-encapsulates replies back to the client.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "netsim/network.h"
+#include "netsim/node.h"
+#include "proto/l4.h"
+#include "sdn/switch.h"
+#include "tunnel/esp.h"
+
+namespace pvn {
+
+// Predicate selecting which packets get tunneled (selective redirection,
+// Fig. 1c). Default: everything.
+using TunnelSelector = std::function<bool(const Packet&)>;
+
+class TunnelIngress : public Node {
+ public:
+  // Port 0 faces the client side, port 1 faces the WAN.
+  TunnelIngress(Network& net, std::string name, Ipv4Addr self,
+                Ipv4Addr gateway, Bytes key);
+
+  void set_selector(TunnelSelector selector) { selector_ = std::move(selector); }
+
+  void handle_packet(Packet pkt, int in_port) override;
+
+  std::uint64_t tunneled() const { return tunneled_; }
+  std::uint64_t bypassed() const { return bypassed_; }
+
+ private:
+  Ipv4Addr self_;
+  Ipv4Addr gateway_;
+  Bytes key_;
+  std::uint32_t seq_ = 0;
+  TunnelSelector selector_;
+  std::uint64_t tunneled_ = 0;
+  std::uint64_t bypassed_ = 0;
+};
+
+// Switch-side tunnel termination: a PacketProcessor that decapsulates
+// returning ESP traffic (from a VpnGateway) back into the inner packet so
+// the dataplane can forward it to the device. Registered on the SdnSwitch
+// and targeted by an infrastructure rule matching proto=esp.
+class EspDecapProcessor : public PacketProcessor {
+ public:
+  explicit EspDecapProcessor(Bytes key) : key_(std::move(key)) {}
+
+  std::vector<Packet> process(Packet pkt, SimTime now,
+                              SimDuration& delay) override {
+    (void)now;
+    delay = 0;
+    std::vector<Packet> out;
+    if (auto inner = esp_decap(pkt, key_)) {
+      out.push_back(std::move(*inner));
+    } else {
+      ++auth_failures_;
+    }
+    return out;
+  }
+
+  std::uint64_t auth_failures() const { return auth_failures_; }
+
+ private:
+  Bytes key_;
+  std::uint64_t auth_failures_ = 0;
+};
+
+class VpnGateway : public Node {
+ public:
+  // Port 0 faces the Internet (both tunnel ingress and servers reach it
+  // through this port in our topologies).
+  VpnGateway(Network& net, std::string name, Ipv4Addr addr, Bytes key);
+
+  void handle_packet(Packet pkt, int in_port) override;
+
+  std::uint64_t decapsulated() const { return decap_; }
+  std::uint64_t reencapsulated() const { return reencap_; }
+  std::uint64_t auth_failures() const { return auth_fail_; }
+
+ private:
+  struct NatKey {
+    Ipv4Addr remote;
+    Port remote_port = 0;
+    Port local_port = 0;
+    std::uint8_t proto = 0;
+    auto operator<=>(const NatKey&) const = default;
+  };
+
+  Ipv4Addr addr_;
+  Bytes key_;
+  std::map<NatKey, Ipv4Addr> nat_;          // reply -> original client addr
+  std::map<Ipv4Addr, Ipv4Addr> client_via_; // client addr -> tunnel outer src
+  std::uint32_t seq_ = 0;
+  std::uint64_t decap_ = 0;
+  std::uint64_t reencap_ = 0;
+  std::uint64_t auth_fail_ = 0;
+};
+
+}  // namespace pvn

@@ -1,0 +1,83 @@
+// Bounds-checked binary serialization.
+//
+// Every wire format in the repository (IP/TCP/UDP headers, DNS and TLS
+// messages, PVN discovery messages, ESP tunnel frames) is encoded with
+// ByteWriter and decoded with ByteReader. Integers are big-endian (network
+// byte order). Decoding never throws: a reader that runs past the end of its
+// buffer latches an error flag that callers must check via ok().
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pvn {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void raw(std::span<const std::uint8_t> data);
+  void raw(const Bytes& data) { raw(std::span<const std::uint8_t>(data)); }
+
+  // Length-prefixed (u32) byte string.
+  void blob(std::span<const std::uint8_t> data);
+  void blob(const Bytes& data) { blob(std::span<const std::uint8_t>(data)); }
+
+  // Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(const Bytes& data)
+      : data_(std::span<const std::uint8_t>(data)) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  Bytes raw(std::size_t n);
+  Bytes blob();
+  std::string str();
+
+  // True iff no read has overrun the buffer so far.
+  bool ok() const { return ok_; }
+  // True iff the whole buffer was consumed and no read overran.
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Convenience: bytes of a string literal / string.
+Bytes to_bytes(std::string_view s);
+std::string to_string(const Bytes& b);
+
+}  // namespace pvn

@@ -1,0 +1,93 @@
+// Structural cryptography for the simulation.
+//
+// The PVN design relies on hashes (content digests, path proofs), MACs
+// (per-hop proofs, attestation quotes), and signatures (certificates,
+// attestations). This module provides *structural* stand-ins: collision
+// behaviour and API shape match real primitives closely enough to exercise
+// every protocol code path, but none of this is production cryptography
+// (see DESIGN.md §2 — the paper's claims are about protocol architecture,
+// not cipher strength).
+//
+// Signatures are simulated asymmetric crypto: a KeyPair holds a secret seed
+// and a public id derived from it; verification goes through a KeyRegistry
+// that models the PKI's trusted key distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/bytes.h"
+
+namespace pvn {
+
+// 256-bit digest (4 x 64-bit lanes of iterated FNV-1a with lane mixing).
+struct Digest {
+  std::array<std::uint64_t, 4> lanes = {};
+
+  bool operator==(const Digest&) const = default;
+  std::string hex() const;
+  Bytes to_bytes() const;
+  static std::optional<Digest> from_bytes(const Bytes& b);
+};
+
+// Hashes an arbitrary byte string.
+Digest digest_of(std::span<const std::uint8_t> data);
+Digest digest_of(const Bytes& data);
+Digest digest_of(std::string_view data);
+
+// Keyed MAC: digest over key-prefixed and key-suffixed data (HMAC-shaped).
+Digest hmac(const Bytes& key, std::span<const std::uint8_t> data);
+Digest hmac(const Bytes& key, const Bytes& data);
+
+// --- Simulated asymmetric signatures ---------------------------------------
+
+// Public identity: an opaque 64-bit id derived from the secret seed.
+struct PublicKey {
+  std::uint64_t id = 0;
+  bool operator==(const PublicKey&) const = default;
+};
+
+struct Signature {
+  Digest mac;
+  std::uint64_t signer = 0;  // public key id that produced this signature
+  bool operator==(const Signature&) const = default;
+};
+
+class KeyPair {
+ public:
+  // Derives a keypair deterministically from a seed (e.g. an Rng draw).
+  explicit KeyPair(std::uint64_t seed);
+
+  const PublicKey& public_key() const { return public_; }
+  Signature sign(std::span<const std::uint8_t> data) const;
+  Signature sign(const Bytes& data) const { return sign(std::span<const std::uint8_t>(data)); }
+
+ private:
+  friend class KeyRegistry;
+  Bytes secret_;
+  PublicKey public_;
+};
+
+// Trusted key directory: models PKI distribution of public keys. Verifiers
+// hold a registry of keys they trust; verification fails for unknown keys.
+class KeyRegistry {
+ public:
+  void trust(const KeyPair& kp);
+  void revoke(const PublicKey& pk);
+  bool trusts(const PublicKey& pk) const;
+  bool verify(const PublicKey& pk, std::span<const std::uint8_t> data,
+              const Signature& sig) const;
+  bool verify(const PublicKey& pk, const Bytes& data, const Signature& sig) const {
+    return verify(pk, std::span<const std::uint8_t>(data), sig);
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, Bytes> secrets_;  // public id -> secret
+};
+
+}  // namespace pvn

@@ -1,0 +1,39 @@
+#include "util/log.h"
+
+namespace pvn {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, std::string_view tag, std::string_view msg,
+              SimTime now) {
+  if (level < g_level) return;
+  if (now >= 0) {
+    std::fprintf(stderr, "[%s %10s %-12.*s] %.*s\n", level_name(level),
+                 format_duration(now).c_str(), static_cast<int>(tag.size()),
+                 tag.data(), static_cast<int>(msg.size()), msg.data());
+  } else {
+    std::fprintf(stderr, "[%s %-12.*s] %.*s\n", level_name(level),
+                 static_cast<int>(tag.size()), tag.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+}  // namespace pvn

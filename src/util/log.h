@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// Components log with a tag; the global level gates output. Tests run at
+// kWarn to keep ctest output clean; examples raise the level to narrate.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace pvn {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_line(LogLevel level, std::string_view tag, std::string_view msg,
+              SimTime now);
+
+// printf-style logging helper bound to a component tag and a clock source.
+class Logger {
+ public:
+  Logger(std::string tag, const SimTime* clock = nullptr)
+      : tag_(std::move(tag)), clock_(clock) {}
+
+  template <typename... Args>
+  void log(LogLevel level, const char* fmt, Args... args) const {
+    if (level < log_level()) return;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    log_line(level, tag_, buf, clock_ ? *clock_ : -1);
+  }
+
+  template <typename... Args>
+  void trace(const char* fmt, Args... args) const {
+    log(LogLevel::kTrace, fmt, args...);
+  }
+  template <typename... Args>
+  void debug(const char* fmt, Args... args) const {
+    log(LogLevel::kDebug, fmt, args...);
+  }
+  template <typename... Args>
+  void info(const char* fmt, Args... args) const {
+    log(LogLevel::kInfo, fmt, args...);
+  }
+  template <typename... Args>
+  void warn(const char* fmt, Args... args) const {
+    log(LogLevel::kWarn, fmt, args...);
+  }
+  template <typename... Args>
+  void error(const char* fmt, Args... args) const {
+    log(LogLevel::kError, fmt, args...);
+  }
+
+ private:
+  std::string tag_;
+  const SimTime* clock_;
+};
+
+}  // namespace pvn

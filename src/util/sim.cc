@@ -1,0 +1,69 @@
+#include "util/sim.h"
+
+namespace pvn {
+
+EventId Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  if (cancelled_.insert(id).second) ++cancelled_live_;
+}
+
+bool Simulator::pop_one(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast on the handle,
+    // which is safe because we pop immediately after.
+    Event& top = const_cast<Event&>(queue_.top());
+    Event ev = std::move(top);
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_live_;
+      continue;
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_one(ev)) return false;
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  Event ev;
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) break;
+    if (!pop_one(ev)) break;
+    if (ev.when > deadline) {
+      // Re-queue: pop_one consumed a live event past the deadline.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  return executed;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+}  // namespace pvn

@@ -1,0 +1,80 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns the virtual clock and a priority queue of scheduled
+// callbacks. Every component in the repository (links, TCP endpoints,
+// middlebox hosts, protocol state machines) schedules work through one shared
+// Simulator, which makes whole-network runs single-threaded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace pvn {
+
+// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+// stays in the queue but its callback is not invoked.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (clamped to now()).
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` nanoseconds from now.
+  EventId schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  // Cancels a pending event. Safe to call with kInvalidEventId or an
+  // already-fired event id (both are no-ops).
+  void cancel(EventId id);
+
+  // Runs events until the queue drains or the clock would pass `deadline`.
+  // Returns the number of events executed.
+  std::size_t run_until(SimTime deadline);
+
+  // Runs until the event queue is empty.
+  std::size_t run();
+
+  // Executes at most one event; returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_live_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one(Event& out);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t cancelled_live_ = 0;
+};
+
+}  // namespace pvn

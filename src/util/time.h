@@ -1,0 +1,54 @@
+// Simulated time: a signed 64-bit count of nanoseconds since simulation start.
+//
+// All latency, bandwidth, and timer arithmetic in the repository is expressed
+// in SimTime / SimDuration so that every run is bit-for-bit deterministic and
+// independent of wall-clock speed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pvn {
+
+// A duration in simulated nanoseconds.
+using SimDuration = std::int64_t;
+
+// An absolute simulated timestamp (nanoseconds since simulation start).
+using SimTime = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n * kNanosecond; }
+constexpr SimDuration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr SimDuration seconds(std::int64_t n) { return n * kSecond; }
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_milliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_microseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+// Renders a duration with an adaptive unit, e.g. "12.5ms" or "450us".
+inline std::string format_duration(SimDuration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(d));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_milliseconds(d));
+  } else if (d >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_microseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace pvn

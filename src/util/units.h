@@ -1,0 +1,42 @@
+// Value types for data rates and sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace pvn {
+
+// A data rate in bits per second.
+struct Rate {
+  std::int64_t bits_per_second = 0;
+
+  static constexpr Rate bps(std::int64_t v) { return Rate{v}; }
+  static constexpr Rate kbps(std::int64_t v) { return Rate{v * 1000}; }
+  static constexpr Rate mbps(std::int64_t v) { return Rate{v * 1000 * 1000}; }
+  static constexpr Rate gbps(std::int64_t v) {
+    return Rate{v * 1000 * 1000 * 1000};
+  }
+
+  constexpr double mbps_value() const {
+    return static_cast<double>(bits_per_second) / 1e6;
+  }
+
+  // Time to serialize `bytes` onto a link of this rate.
+  constexpr SimDuration transmit_time(std::int64_t bytes) const {
+    if (bits_per_second <= 0) return 0;
+    // bytes*8 bits / (bits/s) seconds, computed in ns without overflow for
+    // realistic packet sizes (< 2^41 bytes at >= 1 bps).
+    return static_cast<SimDuration>(
+        (static_cast<__int128>(bytes) * 8 * kSecond) / bits_per_second);
+  }
+
+  constexpr bool operator==(const Rate&) const = default;
+  constexpr auto operator<=>(const Rate&) const = default;
+};
+
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * kKiB;
+constexpr std::int64_t kGiB = 1024 * kMiB;
+
+}  // namespace pvn

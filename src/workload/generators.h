@@ -1,0 +1,106 @@
+// Workload generators for the experiments: HTTP download load, video
+// streaming (classifiable by DPI), and PII-bearing app telemetry.
+#pragma once
+
+#include <functional>
+
+#include "proto/http.h"
+
+namespace pvn {
+
+struct LoadStats {
+  std::vector<FetchTiming> timings;
+
+  int ok_count() const;
+  SimDuration mean_total() const;
+  SimDuration p95_total() const;
+  std::uint64_t total_bytes() const;
+};
+
+// Sequential HTTP fetches with think time; reports all timings when done.
+class HttpLoadGen {
+ public:
+  explicit HttpLoadGen(Host& client);
+
+  using Callback = std::function<void(const LoadStats&)>;
+  void run(Ipv4Addr server, Port port, const std::string& path, int count,
+           SimDuration think_time, Callback done);
+
+ private:
+  void next();
+
+  Host* client_;
+  HttpClient http_;
+  Ipv4Addr server_;
+  Port port_ = 80;
+  std::string path_;
+  int remaining_ = 0;
+  SimDuration think_ = 0;
+  LoadStats stats_;
+  Callback done_;
+};
+
+// Sequential segment fetches modelling a video stream. A segment covers
+// `segment_seconds` of playback; fetching slower than that is a rebuffer.
+struct VideoStats {
+  int segments = 0;
+  int rebuffers = 0;
+  double mean_segment_mbps = 0;
+  std::uint64_t bytes = 0;
+};
+
+class VideoStreamer {
+ public:
+  explicit VideoStreamer(Host& client);
+
+  using Callback = std::function<void(const VideoStats&)>;
+  void run(Ipv4Addr server, Port port, int segments,
+           std::size_t segment_bytes, SimDuration segment_seconds,
+           Callback done);
+
+ private:
+  void next();
+
+  Host* client_;
+  HttpClient http_;
+  Ipv4Addr server_;
+  Port port_ = 80;
+  int total_ = 0;
+  int fetched_ = 0;
+  std::size_t segment_bytes_ = 0;
+  SimDuration segment_duration_ = 0;
+  double mbps_sum_ = 0;
+  VideoStats stats_;
+  Callback done_;
+};
+
+// Registers a handler that serves /video/seg-N with Content-Type video/mp4
+// (so DPI classifiers recognise it) and /bytes/N as usual.
+void install_video_server(HttpServer& server, std::size_t segment_bytes);
+
+// Periodically POSTs telemetry that embeds the given PII strings to a
+// collection endpoint (models leaky apps/trackers, §2.3).
+class TelemetryEmitter {
+ public:
+  TelemetryEmitter(Host& client, Ipv4Addr collector, Port port,
+                   std::vector<std::string> pii_values);
+
+  // Emits `count` reports, one per `interval`.
+  void start(int count, SimDuration interval);
+
+  int sent() const { return sent_; }
+
+ private:
+  void emit();
+
+  Host* client_;
+  HttpClient http_;
+  Ipv4Addr collector_;
+  Port port_;
+  std::vector<std::string> pii_;
+  int remaining_ = 0;
+  int sent_ = 0;
+  SimDuration interval_ = 0;
+};
+
+}  // namespace pvn

@@ -1,0 +1,55 @@
+// Shared test topologies.
+#pragma once
+
+#include "netsim/network.h"
+#include "netsim/router.h"
+#include "proto/host.h"
+
+namespace pvn::testing {
+
+// client --(access link)-- router --(core link)-- server
+struct DumbbellTopo {
+  Network net;
+  Host* client = nullptr;
+  Host* server = nullptr;
+  Router* router = nullptr;
+  Link* access = nullptr;
+  Link* core = nullptr;
+
+  explicit DumbbellTopo(LinkParams access_params = {},
+                        LinkParams core_params = {},
+                        std::uint64_t seed = 1)
+      : net(seed) {
+    client = &net.add_node<Host>("client", Ipv4Addr(10, 0, 0, 2));
+    server = &net.add_node<Host>("server", Ipv4Addr(93, 184, 216, 34));
+    router = &net.add_node<Router>("router");
+    access = &net.connect(*client, *router, access_params);
+    core = &net.connect(*router, *server, core_params);
+    router->add_route(*Prefix::parse("10.0.0.0/8"), 0);
+    router->add_route(*Prefix::parse("0.0.0.0/0"), 1);
+  }
+};
+
+// Collects a byte stream delivered via TcpConnection::on_data.
+struct StreamSink {
+  Bytes data;
+  bool closed = false;
+
+  void attach(TcpConnection& conn) {
+    conn.on_data = [this](const Bytes& chunk) {
+      data.insert(data.end(), chunk.begin(), chunk.end());
+    };
+    conn.on_eof = [&conn] { conn.close(); };  // close our half on EOF
+    conn.on_closed = [this] { closed = true; };
+  }
+};
+
+inline Bytes pattern_bytes(std::size_t n, std::uint8_t phase = 0) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 31 + phase) & 0xFF);
+  }
+  return b;
+}
+
+}  // namespace pvn::testing

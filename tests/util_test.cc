@@ -1,0 +1,384 @@
+// Unit and property tests for the simulation kernel, byte codecs, RNG, and
+// structural crypto in src/util.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/digest.h"
+#include "util/rng.h"
+#include "util/sim.h"
+#include "util/units.h"
+
+namespace pvn {
+namespace {
+
+// --- Simulator --------------------------------------------------------------
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(30));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.schedule_at(seconds(1), [&] {
+    sim.schedule_after(milliseconds(500), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, seconds(1) + milliseconds(500));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(milliseconds(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelInvalidAndSpentIdsAreNoOps) {
+  Simulator sim;
+  sim.cancel(kInvalidEventId);
+  bool ran = false;
+  const EventId id = sim.schedule_at(0, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  sim.cancel(id);  // already fired; must not disturb future events
+  bool ran2 = false;
+  sim.schedule_after(1, [&] { ran2 = true; });
+  sim.run();
+  EXPECT_TRUE(ran2);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(seconds(i), [&] { ++count; });
+  }
+  EXPECT_EQ(sim.run_until(seconds(5)), 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_LE(sim.now(), seconds(5));
+  EXPECT_EQ(sim.run(), 5u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(seconds(3));
+  EXPECT_EQ(sim.now(), seconds(3));
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(seconds(2), [&] {
+    SimTime fired = -1;
+    sim.schedule_at(seconds(1), [&sim, &fired] { fired = sim.now(); });
+    (void)fired;
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), seconds(2));
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(milliseconds(1), recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+}
+
+// --- Time formatting ---------------------------------------------------------
+
+TEST(TimeFormat, AdaptiveUnits) {
+  EXPECT_EQ(format_duration(nanoseconds(5)), "5ns");
+  EXPECT_EQ(format_duration(microseconds(45)), "45.000us");
+  EXPECT_EQ(format_duration(milliseconds(30)), "30.000ms");
+  EXPECT_EQ(format_duration(seconds(2)), "2.000s");
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRoughlyCorrectMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowZeroBoundYieldsZero) {
+  Rng r(23);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+// --- ByteWriter / ByteReader ---------------------------------------------------
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[3], 0x04);
+}
+
+TEST(Bytes, RoundTripStringsAndBlobs) {
+  ByteWriter w;
+  w.str("hello pvn");
+  w.blob(to_bytes("payload"));
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello pvn");
+  EXPECT_EQ(to_string(r.blob()), "payload");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, OverrunLatchesError) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 0u);  // overrun
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // still failed
+  EXPECT_FALSE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, TruncatedBlobFails) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8(1);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, EmptyReaderIsExhausted) {
+  ByteReader r(Bytes{});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+// --- Digest / HMAC / signatures ------------------------------------------------
+
+TEST(Digest, DeterministicAndInputSensitive) {
+  EXPECT_EQ(digest_of("hello"), digest_of("hello"));
+  EXPECT_NE(digest_of("hello"), digest_of("hellp"));
+  EXPECT_NE(digest_of("hello"), digest_of("hell"));
+  EXPECT_NE(digest_of(""), digest_of(std::string_view("\0", 1)));
+}
+
+TEST(Digest, HexIs64Chars) {
+  EXPECT_EQ(digest_of("x").hex().size(), 64u);
+}
+
+TEST(Digest, BytesRoundTrip) {
+  const Digest d = digest_of("round trip");
+  const auto back = Digest::from_bytes(d.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, d);
+}
+
+TEST(Digest, FromBytesRejectsWrongLength) {
+  EXPECT_FALSE(Digest::from_bytes(Bytes(31, 0)).has_value());
+  EXPECT_FALSE(Digest::from_bytes(Bytes(33, 0)).has_value());
+}
+
+TEST(Hmac, KeyedAndDataSensitive) {
+  const Bytes k1 = to_bytes("key1"), k2 = to_bytes("key2");
+  const Bytes m = to_bytes("message");
+  EXPECT_EQ(hmac(k1, m), hmac(k1, m));
+  EXPECT_NE(hmac(k1, m), hmac(k2, m));
+  EXPECT_NE(hmac(k1, m), hmac(k1, to_bytes("messagf")));
+}
+
+TEST(Signatures, VerifyAcceptsGenuineSignature) {
+  KeyPair kp(1234);
+  KeyRegistry registry;
+  registry.trust(kp);
+  const Bytes msg = to_bytes("attestation quote");
+  const Signature sig = kp.sign(msg);
+  EXPECT_TRUE(registry.verify(kp.public_key(), msg, sig));
+}
+
+TEST(Signatures, VerifyRejectsTamperedMessage) {
+  KeyPair kp(1234);
+  KeyRegistry registry;
+  registry.trust(kp);
+  const Signature sig = kp.sign(to_bytes("original"));
+  EXPECT_FALSE(registry.verify(kp.public_key(), to_bytes("tampered"), sig));
+}
+
+TEST(Signatures, VerifyRejectsUnknownKey) {
+  KeyPair kp(1), other(2);
+  KeyRegistry registry;
+  registry.trust(other);
+  const Bytes msg = to_bytes("m");
+  EXPECT_FALSE(registry.verify(kp.public_key(), msg, kp.sign(msg)));
+}
+
+TEST(Signatures, VerifyRejectsWrongSigner) {
+  KeyPair a(1), b(2);
+  KeyRegistry registry;
+  registry.trust(a);
+  registry.trust(b);
+  const Bytes msg = to_bytes("m");
+  // b's signature presented as a's.
+  EXPECT_FALSE(registry.verify(a.public_key(), msg, b.sign(msg)));
+}
+
+TEST(Signatures, RevokedKeyFailsVerification) {
+  KeyPair kp(99);
+  KeyRegistry registry;
+  registry.trust(kp);
+  const Bytes msg = to_bytes("m");
+  const Signature sig = kp.sign(msg);
+  registry.revoke(kp.public_key());
+  EXPECT_FALSE(registry.verify(kp.public_key(), msg, sig));
+  EXPECT_FALSE(registry.trusts(kp.public_key()));
+}
+
+TEST(Signatures, DistinctSeedsDistinctKeys) {
+  EXPECT_NE(KeyPair(1).public_key(), KeyPair(2).public_key());
+}
+
+// --- Units ---------------------------------------------------------------------
+
+TEST(Units, TransmitTimeMatchesRate) {
+  // 1500 bytes at 12 Mbps = 1500*8/12e6 s = 1 ms.
+  EXPECT_EQ(Rate::mbps(12).transmit_time(1500), milliseconds(1));
+  // Zero-rate links serialize instantly (modelling "infinite" capacity).
+  EXPECT_EQ(Rate::bps(0).transmit_time(1500), 0);
+}
+
+TEST(Units, RateConstructors) {
+  EXPECT_EQ(Rate::kbps(1500).bits_per_second, 1'500'000);
+  EXPECT_EQ(Rate::mbps(100).bits_per_second, 100'000'000);
+  EXPECT_DOUBLE_EQ(Rate::mbps(100).mbps_value(), 100.0);
+  EXPECT_EQ(Rate::gbps(1).bits_per_second, 1'000'000'000);
+}
+
+// Property sweep: transmit time is monotone in size and antitone in rate.
+class TransmitTimeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TransmitTimeProperty, MonotoneInSizeAntitoneInRate) {
+  const auto [mbps, bytes] = GetParam();
+  const Rate rate = Rate::mbps(mbps);
+  EXPECT_LE(rate.transmit_time(bytes), rate.transmit_time(bytes + 1000));
+  if (mbps > 1) {
+    EXPECT_LE(rate.transmit_time(bytes), Rate::mbps(mbps - 1).transmit_time(bytes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransmitTimeProperty,
+    ::testing::Combine(::testing::Values(1, 5, 10, 100, 1000),
+                       ::testing::Values(64, 576, 1500, 9000, 65535)));
+
+}  // namespace
+}  // namespace pvn
