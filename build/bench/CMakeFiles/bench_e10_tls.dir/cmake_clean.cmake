@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_tls.dir/bench_e10_tls.cpp.o"
+  "CMakeFiles/bench_e10_tls.dir/bench_e10_tls.cpp.o.d"
+  "bench_e10_tls"
+  "bench_e10_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

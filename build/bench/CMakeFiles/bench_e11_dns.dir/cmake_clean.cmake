@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_dns.dir/bench_e11_dns.cpp.o"
+  "CMakeFiles/bench_e11_dns.dir/bench_e11_dns.cpp.o.d"
+  "bench_e11_dns"
+  "bench_e11_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_negotiation.dir/bench_e14_negotiation.cpp.o"
+  "CMakeFiles/bench_e14_negotiation.dir/bench_e14_negotiation.cpp.o.d"
+  "bench_e14_negotiation"
+  "bench_e14_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

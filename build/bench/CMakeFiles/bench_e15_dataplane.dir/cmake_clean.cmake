@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_dataplane.dir/bench_e15_dataplane.cpp.o"
+  "CMakeFiles/bench_e15_dataplane.dir/bench_e15_dataplane.cpp.o.d"
+  "bench_e15_dataplane"
+  "bench_e15_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_scalability.dir/bench_e4_scalability.cpp.o"
+  "CMakeFiles/bench_e4_scalability.dir/bench_e4_scalability.cpp.o.d"
+  "bench_e4_scalability"
+  "bench_e4_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_split_tcp.dir/bench_e6_split_tcp.cpp.o"
+  "CMakeFiles/bench_e6_split_tcp.dir/bench_e6_split_tcp.cpp.o.d"
+  "bench_e6_split_tcp"
+  "bench_e6_split_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_split_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

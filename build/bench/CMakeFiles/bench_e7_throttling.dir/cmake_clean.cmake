@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_throttling.dir/bench_e7_throttling.cpp.o"
+  "CMakeFiles/bench_e7_throttling.dir/bench_e7_throttling.cpp.o.d"
+  "bench_e7_throttling"
+  "bench_e7_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

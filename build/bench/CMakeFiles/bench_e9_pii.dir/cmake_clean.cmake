@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_pii.dir/bench_e9_pii.cpp.o"
+  "CMakeFiles/bench_e9_pii.dir/bench_e9_pii.cpp.o.d"
+  "bench_e9_pii"
+  "bench_e9_pii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_pii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1a_pvnc.dir/bench_fig1a_pvnc.cpp.o"
+  "CMakeFiles/bench_fig1a_pvnc.dir/bench_fig1a_pvnc.cpp.o.d"
+  "bench_fig1a_pvnc"
+  "bench_fig1a_pvnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_pvnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

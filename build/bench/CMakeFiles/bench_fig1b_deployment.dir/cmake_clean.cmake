@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b_deployment.dir/bench_fig1b_deployment.cpp.o"
+  "CMakeFiles/bench_fig1b_deployment.dir/bench_fig1b_deployment.cpp.o.d"
+  "bench_fig1b_deployment"
+  "bench_fig1b_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1c_redirection.dir/bench_fig1c_redirection.cpp.o"
+  "CMakeFiles/bench_fig1c_redirection.dir/bench_fig1c_redirection.cpp.o.d"
+  "bench_fig1c_redirection"
+  "bench_fig1c_redirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

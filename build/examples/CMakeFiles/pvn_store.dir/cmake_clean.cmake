@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_store.dir/pvn_store.cpp.o"
+  "CMakeFiles/pvn_store.dir/pvn_store.cpp.o.d"
+  "pvn_store"
+  "pvn_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_roaming.dir/secure_roaming.cpp.o"
+  "CMakeFiles/secure_roaming.dir/secure_roaming.cpp.o.d"
+  "secure_roaming"
+  "secure_roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

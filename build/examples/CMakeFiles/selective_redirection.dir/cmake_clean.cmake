@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_redirection.dir/selective_redirection.cpp.o"
+  "CMakeFiles/selective_redirection.dir/selective_redirection.cpp.o.d"
+  "selective_redirection"
+  "selective_redirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

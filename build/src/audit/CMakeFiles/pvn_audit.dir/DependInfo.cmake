@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/attestation.cc" "src/audit/CMakeFiles/pvn_audit.dir/attestation.cc.o" "gcc" "src/audit/CMakeFiles/pvn_audit.dir/attestation.cc.o.d"
+  "/root/repo/src/audit/measurements.cc" "src/audit/CMakeFiles/pvn_audit.dir/measurements.cc.o" "gcc" "src/audit/CMakeFiles/pvn_audit.dir/measurements.cc.o.d"
+  "/root/repo/src/audit/path_proof.cc" "src/audit/CMakeFiles/pvn_audit.dir/path_proof.cc.o" "gcc" "src/audit/CMakeFiles/pvn_audit.dir/path_proof.cc.o.d"
+  "/root/repo/src/audit/reputation.cc" "src/audit/CMakeFiles/pvn_audit.dir/reputation.cc.o" "gcc" "src/audit/CMakeFiles/pvn_audit.dir/reputation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/pvn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pvn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pvn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_audit.dir/attestation.cc.o"
+  "CMakeFiles/pvn_audit.dir/attestation.cc.o.d"
+  "CMakeFiles/pvn_audit.dir/measurements.cc.o"
+  "CMakeFiles/pvn_audit.dir/measurements.cc.o.d"
+  "CMakeFiles/pvn_audit.dir/path_proof.cc.o"
+  "CMakeFiles/pvn_audit.dir/path_proof.cc.o.d"
+  "CMakeFiles/pvn_audit.dir/reputation.cc.o"
+  "CMakeFiles/pvn_audit.dir/reputation.cc.o.d"
+  "libpvn_audit.a"
+  "libpvn_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbox/host.cc" "src/mbox/CMakeFiles/pvn_mbox.dir/host.cc.o" "gcc" "src/mbox/CMakeFiles/pvn_mbox.dir/host.cc.o.d"
+  "/root/repo/src/mbox/inline_modules.cc" "src/mbox/CMakeFiles/pvn_mbox.dir/inline_modules.cc.o" "gcc" "src/mbox/CMakeFiles/pvn_mbox.dir/inline_modules.cc.o.d"
+  "/root/repo/src/mbox/proxies.cc" "src/mbox/CMakeFiles/pvn_mbox.dir/proxies.cc.o" "gcc" "src/mbox/CMakeFiles/pvn_mbox.dir/proxies.cc.o.d"
+  "/root/repo/src/mbox/registry.cc" "src/mbox/CMakeFiles/pvn_mbox.dir/registry.cc.o" "gcc" "src/mbox/CMakeFiles/pvn_mbox.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdn/CMakeFiles/pvn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pvn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pvn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pvn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_mbox.dir/host.cc.o"
+  "CMakeFiles/pvn_mbox.dir/host.cc.o.d"
+  "CMakeFiles/pvn_mbox.dir/inline_modules.cc.o"
+  "CMakeFiles/pvn_mbox.dir/inline_modules.cc.o.d"
+  "CMakeFiles/pvn_mbox.dir/proxies.cc.o"
+  "CMakeFiles/pvn_mbox.dir/proxies.cc.o.d"
+  "CMakeFiles/pvn_mbox.dir/registry.cc.o"
+  "CMakeFiles/pvn_mbox.dir/registry.cc.o.d"
+  "libpvn_mbox.a"
+  "libpvn_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpvn_mbox.a"
+)

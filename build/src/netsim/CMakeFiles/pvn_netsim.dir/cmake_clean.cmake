@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_netsim.dir/addr.cc.o"
+  "CMakeFiles/pvn_netsim.dir/addr.cc.o.d"
+  "CMakeFiles/pvn_netsim.dir/link.cc.o"
+  "CMakeFiles/pvn_netsim.dir/link.cc.o.d"
+  "CMakeFiles/pvn_netsim.dir/network.cc.o"
+  "CMakeFiles/pvn_netsim.dir/network.cc.o.d"
+  "CMakeFiles/pvn_netsim.dir/node.cc.o"
+  "CMakeFiles/pvn_netsim.dir/node.cc.o.d"
+  "CMakeFiles/pvn_netsim.dir/packet.cc.o"
+  "CMakeFiles/pvn_netsim.dir/packet.cc.o.d"
+  "CMakeFiles/pvn_netsim.dir/router.cc.o"
+  "CMakeFiles/pvn_netsim.dir/router.cc.o.d"
+  "CMakeFiles/pvn_netsim.dir/trace.cc.o"
+  "CMakeFiles/pvn_netsim.dir/trace.cc.o.d"
+  "libpvn_netsim.a"
+  "libpvn_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/dhcp.cc" "src/proto/CMakeFiles/pvn_proto.dir/dhcp.cc.o" "gcc" "src/proto/CMakeFiles/pvn_proto.dir/dhcp.cc.o.d"
+  "/root/repo/src/proto/dns.cc" "src/proto/CMakeFiles/pvn_proto.dir/dns.cc.o" "gcc" "src/proto/CMakeFiles/pvn_proto.dir/dns.cc.o.d"
+  "/root/repo/src/proto/host.cc" "src/proto/CMakeFiles/pvn_proto.dir/host.cc.o" "gcc" "src/proto/CMakeFiles/pvn_proto.dir/host.cc.o.d"
+  "/root/repo/src/proto/http.cc" "src/proto/CMakeFiles/pvn_proto.dir/http.cc.o" "gcc" "src/proto/CMakeFiles/pvn_proto.dir/http.cc.o.d"
+  "/root/repo/src/proto/l4.cc" "src/proto/CMakeFiles/pvn_proto.dir/l4.cc.o" "gcc" "src/proto/CMakeFiles/pvn_proto.dir/l4.cc.o.d"
+  "/root/repo/src/proto/tcp.cc" "src/proto/CMakeFiles/pvn_proto.dir/tcp.cc.o" "gcc" "src/proto/CMakeFiles/pvn_proto.dir/tcp.cc.o.d"
+  "/root/repo/src/proto/tls.cc" "src/proto/CMakeFiles/pvn_proto.dir/tls.cc.o" "gcc" "src/proto/CMakeFiles/pvn_proto.dir/tls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/pvn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pvn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_proto.dir/dhcp.cc.o"
+  "CMakeFiles/pvn_proto.dir/dhcp.cc.o.d"
+  "CMakeFiles/pvn_proto.dir/dns.cc.o"
+  "CMakeFiles/pvn_proto.dir/dns.cc.o.d"
+  "CMakeFiles/pvn_proto.dir/host.cc.o"
+  "CMakeFiles/pvn_proto.dir/host.cc.o.d"
+  "CMakeFiles/pvn_proto.dir/http.cc.o"
+  "CMakeFiles/pvn_proto.dir/http.cc.o.d"
+  "CMakeFiles/pvn_proto.dir/l4.cc.o"
+  "CMakeFiles/pvn_proto.dir/l4.cc.o.d"
+  "CMakeFiles/pvn_proto.dir/tcp.cc.o"
+  "CMakeFiles/pvn_proto.dir/tcp.cc.o.d"
+  "CMakeFiles/pvn_proto.dir/tls.cc.o"
+  "CMakeFiles/pvn_proto.dir/tls.cc.o.d"
+  "libpvn_proto.a"
+  "libpvn_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pvn/billing.cc" "src/pvn/CMakeFiles/pvn_core.dir/billing.cc.o" "gcc" "src/pvn/CMakeFiles/pvn_core.dir/billing.cc.o.d"
+  "/root/repo/src/pvn/client.cc" "src/pvn/CMakeFiles/pvn_core.dir/client.cc.o" "gcc" "src/pvn/CMakeFiles/pvn_core.dir/client.cc.o.d"
+  "/root/repo/src/pvn/compiler.cc" "src/pvn/CMakeFiles/pvn_core.dir/compiler.cc.o" "gcc" "src/pvn/CMakeFiles/pvn_core.dir/compiler.cc.o.d"
+  "/root/repo/src/pvn/discovery.cc" "src/pvn/CMakeFiles/pvn_core.dir/discovery.cc.o" "gcc" "src/pvn/CMakeFiles/pvn_core.dir/discovery.cc.o.d"
+  "/root/repo/src/pvn/negotiation.cc" "src/pvn/CMakeFiles/pvn_core.dir/negotiation.cc.o" "gcc" "src/pvn/CMakeFiles/pvn_core.dir/negotiation.cc.o.d"
+  "/root/repo/src/pvn/pvnc.cc" "src/pvn/CMakeFiles/pvn_core.dir/pvnc.cc.o" "gcc" "src/pvn/CMakeFiles/pvn_core.dir/pvnc.cc.o.d"
+  "/root/repo/src/pvn/pvnc_parser.cc" "src/pvn/CMakeFiles/pvn_core.dir/pvnc_parser.cc.o" "gcc" "src/pvn/CMakeFiles/pvn_core.dir/pvnc_parser.cc.o.d"
+  "/root/repo/src/pvn/server.cc" "src/pvn/CMakeFiles/pvn_core.dir/server.cc.o" "gcc" "src/pvn/CMakeFiles/pvn_core.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mbox/CMakeFiles/pvn_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/pvn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pvn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pvn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pvn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

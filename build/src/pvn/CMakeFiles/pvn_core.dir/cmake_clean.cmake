@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_core.dir/billing.cc.o"
+  "CMakeFiles/pvn_core.dir/billing.cc.o.d"
+  "CMakeFiles/pvn_core.dir/client.cc.o"
+  "CMakeFiles/pvn_core.dir/client.cc.o.d"
+  "CMakeFiles/pvn_core.dir/compiler.cc.o"
+  "CMakeFiles/pvn_core.dir/compiler.cc.o.d"
+  "CMakeFiles/pvn_core.dir/discovery.cc.o"
+  "CMakeFiles/pvn_core.dir/discovery.cc.o.d"
+  "CMakeFiles/pvn_core.dir/negotiation.cc.o"
+  "CMakeFiles/pvn_core.dir/negotiation.cc.o.d"
+  "CMakeFiles/pvn_core.dir/pvnc.cc.o"
+  "CMakeFiles/pvn_core.dir/pvnc.cc.o.d"
+  "CMakeFiles/pvn_core.dir/pvnc_parser.cc.o"
+  "CMakeFiles/pvn_core.dir/pvnc_parser.cc.o.d"
+  "CMakeFiles/pvn_core.dir/server.cc.o"
+  "CMakeFiles/pvn_core.dir/server.cc.o.d"
+  "libpvn_core.a"
+  "libpvn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_sdn.dir/controller.cc.o"
+  "CMakeFiles/pvn_sdn.dir/controller.cc.o.d"
+  "CMakeFiles/pvn_sdn.dir/flow_table.cc.o"
+  "CMakeFiles/pvn_sdn.dir/flow_table.cc.o.d"
+  "CMakeFiles/pvn_sdn.dir/match.cc.o"
+  "CMakeFiles/pvn_sdn.dir/match.cc.o.d"
+  "CMakeFiles/pvn_sdn.dir/meter.cc.o"
+  "CMakeFiles/pvn_sdn.dir/meter.cc.o.d"
+  "CMakeFiles/pvn_sdn.dir/switch.cc.o"
+  "CMakeFiles/pvn_sdn.dir/switch.cc.o.d"
+  "libpvn_sdn.a"
+  "libpvn_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_testbed.dir/testbed.cc.o"
+  "CMakeFiles/pvn_testbed.dir/testbed.cc.o.d"
+  "libpvn_testbed.a"
+  "libpvn_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

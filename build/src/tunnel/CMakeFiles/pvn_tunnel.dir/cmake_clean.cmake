@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_tunnel.dir/esp.cc.o"
+  "CMakeFiles/pvn_tunnel.dir/esp.cc.o.d"
+  "CMakeFiles/pvn_tunnel.dir/locator.cc.o"
+  "CMakeFiles/pvn_tunnel.dir/locator.cc.o.d"
+  "CMakeFiles/pvn_tunnel.dir/vpn.cc.o"
+  "CMakeFiles/pvn_tunnel.dir/vpn.cc.o.d"
+  "libpvn_tunnel.a"
+  "libpvn_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

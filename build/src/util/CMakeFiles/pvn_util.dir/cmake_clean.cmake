@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_util.dir/bytes.cc.o"
+  "CMakeFiles/pvn_util.dir/bytes.cc.o.d"
+  "CMakeFiles/pvn_util.dir/digest.cc.o"
+  "CMakeFiles/pvn_util.dir/digest.cc.o.d"
+  "CMakeFiles/pvn_util.dir/log.cc.o"
+  "CMakeFiles/pvn_util.dir/log.cc.o.d"
+  "CMakeFiles/pvn_util.dir/sim.cc.o"
+  "CMakeFiles/pvn_util.dir/sim.cc.o.d"
+  "libpvn_util.a"
+  "libpvn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

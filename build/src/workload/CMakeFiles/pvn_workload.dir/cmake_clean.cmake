@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_workload.dir/generators.cc.o"
+  "CMakeFiles/pvn_workload.dir/generators.cc.o.d"
+  "libpvn_workload.a"
+  "libpvn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_tunnel_test.dir/audit_tunnel_test.cc.o"
+  "CMakeFiles/audit_tunnel_test.dir/audit_tunnel_test.cc.o.d"
+  "audit_tunnel_test"
+  "audit_tunnel_test.pdb"
+  "audit_tunnel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_tunnel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

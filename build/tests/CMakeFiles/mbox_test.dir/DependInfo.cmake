@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mbox_test.cc" "tests/CMakeFiles/mbox_test.dir/mbox_test.cc.o" "gcc" "tests/CMakeFiles/mbox_test.dir/mbox_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mbox/CMakeFiles/pvn_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pvn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/pvn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pvn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pvn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pvn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

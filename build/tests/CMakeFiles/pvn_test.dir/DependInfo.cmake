@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pvn_test.cc" "tests/CMakeFiles/pvn_test.dir/pvn_test.cc.o" "gcc" "tests/CMakeFiles/pvn_test.dir/pvn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/pvn_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvn/CMakeFiles/pvn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbox/CMakeFiles/pvn_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/pvn_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tunnel/CMakeFiles/pvn_tunnel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/pvn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pvn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pvn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pvn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pvn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvn_test.dir/pvn_test.cc.o"
+  "CMakeFiles/pvn_test.dir/pvn_test.cc.o.d"
+  "pvn_test"
+  "pvn_test.pdb"
+  "pvn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/sdn_test[1]_include.cmake")
+include("/root/repo/build/tests/mbox_test[1]_include.cmake")
+include("/root/repo/build/tests/pvn_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_tunnel_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_property_test[1]_include.cmake")
+include("/root/repo/build/tests/isolation_test[1]_include.cmake")
