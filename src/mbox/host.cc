@@ -49,15 +49,21 @@ std::vector<Packet> Chain::process(Packet pkt, SimTime now,
 
 void MboxHost::instantiate(std::unique_ptr<Middlebox> mbox,
                            std::function<void(Middlebox*)> ready) {
-  if (memory_in_use_ + cfg_.memory_per_instance > cfg_.memory_budget) {
+  if (crashed_ ||
+      memory_in_use_ + cfg_.memory_per_instance > cfg_.memory_budget) {
     sim_->schedule_after(0, [ready = std::move(ready)] { ready(nullptr); });
     return;
   }
   memory_in_use_ += cfg_.memory_per_instance;
   Middlebox* raw = mbox.get();
   owned_.push_back(std::move(mbox));
+  // A crash between now and the readiness event frees the instance; deliver
+  // nullptr instead of the dangling pointer in that case.
+  const int gen = crashes_;
   sim_->schedule_after(cfg_.instantiation_delay,
-                       [raw, ready = std::move(ready)] { ready(raw); });
+                       [this, gen, raw, ready = std::move(ready)] {
+                         ready(gen == crashes_ ? raw : nullptr);
+                       });
 }
 
 bool MboxHost::destroy(Middlebox* mbox) {
@@ -84,6 +90,16 @@ Chain* MboxHost::chain(const std::string& id) {
 
 bool MboxHost::destroy_chain(const std::string& id) {
   return chains_.erase(id) > 0;
+}
+
+void MboxHost::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++crashes_;
+  owned_.clear();
+  chains_.clear();
+  memory_in_use_ = 0;
+  if (crash_listener_) crash_listener_();
 }
 
 }  // namespace pvn

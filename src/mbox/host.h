@@ -53,7 +53,7 @@ class MboxHost {
 
   // Instantiates a middlebox (charging instantiation delay + memory).
   // `ready` fires with the instance pointer, or nullptr if the host is out
-  // of memory. The host owns the instance.
+  // of memory or crashed. The host owns the instance.
   void instantiate(std::unique_ptr<Middlebox> mbox,
                    std::function<void(Middlebox*)> ready);
 
@@ -64,6 +64,19 @@ class MboxHost {
   Chain& create_chain(const std::string& id);
   Chain* chain(const std::string& id);
   bool destroy_chain(const std::string& id);
+
+  // Fault injection: drops every instance and chain on the floor (memory
+  // returns to zero, like a machine losing power) and refuses new
+  // instantiations until restart(). The crash listener fires synchronously
+  // so the control plane can unregister now-dead chain processors from the
+  // dataplane before another packet is diverted to them.
+  void crash();
+  void restart() { crashed_ = false; }
+  bool crashed() const { return crashed_; }
+  int crashes() const { return crashes_; }
+  void set_crash_listener(std::function<void()> listener) {
+    crash_listener_ = std::move(listener);
+  }
 
   std::int64_t memory_in_use() const { return memory_in_use_; }
   std::int64_t memory_budget() const { return cfg_.memory_budget; }
@@ -76,6 +89,9 @@ class MboxHost {
   std::vector<std::unique_ptr<Middlebox>> owned_;
   std::map<std::string, std::unique_ptr<Chain>> chains_;
   std::int64_t memory_in_use_ = 0;
+  bool crashed_ = false;
+  int crashes_ = 0;
+  std::function<void()> crash_listener_;
 };
 
 }  // namespace pvn

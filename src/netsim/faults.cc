@@ -1,0 +1,106 @@
+#include "netsim/faults.h"
+
+#include "netsim/node.h"
+
+namespace pvn {
+
+std::string FaultInjector::link_name(const Link& link) {
+  return link.end_a().name() + "<->" + link.end_b().name();
+}
+
+void FaultInjector::record(const std::string& kind,
+                           const std::string& target) {
+  events_.push_back(FaultEvent{net_->sim().now(), kind, target});
+}
+
+void FaultInjector::fail_link(Link& link) {
+  if (!link.is_up()) return;
+  link.set_up(false);
+  record("link-down", link_name(link));
+}
+
+void FaultInjector::restore_link(Link& link) {
+  if (link.is_up()) return;
+  link.set_up(true);
+  record("link-up", link_name(link));
+}
+
+void FaultInjector::crash_node(Node& node) {
+  if (!node.is_up()) return;
+  node.set_up(false);
+  record("node-crash", node.name());
+}
+
+void FaultInjector::restore_node(Node& node) {
+  if (node.is_up()) return;
+  node.set_up(true);
+  record("node-restart", node.name());
+}
+
+void FaultInjector::link_flap(Link& link, SimTime at, SimDuration down_for) {
+  net_->sim().schedule_at(at, [this, &link] { fail_link(link); });
+  net_->sim().schedule_at(at + down_for,
+                          [this, &link] { restore_link(link); });
+}
+
+void FaultInjector::loss_burst(Link& link, SimTime at, SimDuration duration,
+                               double loss) {
+  net_->sim().schedule_at(at, [this, &link, duration, loss] {
+    const double previous = link.params().loss;
+    link.set_loss(loss);
+    record("loss-burst", link_name(link));
+    // Scheduled from inside the burst so the restore returns the link to its
+    // pre-burst baseline rather than assuming a lossless baseline.
+    net_->sim().schedule_after(duration, [this, &link, previous] {
+      link.set_loss(previous);
+      record("loss-end", link_name(link));
+    });
+  });
+}
+
+void FaultInjector::node_crash(Node& node, SimTime at, SimDuration down_for) {
+  net_->sim().schedule_at(at, [this, &node] { crash_node(node); });
+  if (down_for > 0) {
+    net_->sim().schedule_at(at + down_for,
+                            [this, &node] { restore_node(node); });
+  }
+}
+
+void FaultInjector::partition(std::vector<Link*> links, SimTime at,
+                              SimDuration duration) {
+  net_->sim().schedule_at(at, [this, links] {
+    for (Link* link : links) fail_link(*link);
+  });
+  net_->sim().schedule_at(at + duration, [this, links] {
+    for (Link* link : links) restore_link(*link);
+  });
+}
+
+void FaultInjector::random_flaps(Link& link, SimTime from, SimTime until,
+                                 SimDuration mean_up, SimDuration mean_down) {
+  net_->sim().schedule_at(from, [this, &link, until, mean_up, mean_down] {
+    flap_once(&link, until, mean_up, mean_down, /*currently_up=*/true);
+  });
+}
+
+void FaultInjector::flap_once(Link* link, SimTime until, SimDuration mean_up,
+                              SimDuration mean_down, bool currently_up) {
+  if (net_->sim().now() >= until) {
+    restore_link(*link);  // never leave the link down past the window
+    return;
+  }
+  const double mean =
+      static_cast<double>(currently_up ? mean_up : mean_down);
+  const auto hold = static_cast<SimDuration>(rng_.exponential(mean));
+  net_->sim().schedule_after(hold, [this, link, until, mean_up, mean_down,
+                                    currently_up] {
+    if (currently_up) {
+      fail_link(*link);
+    } else {
+      restore_link(*link);
+    }
+    flap_once(link, until, mean_up, mean_down, !currently_up);
+  });
+}
+
+}  // namespace pvn

@@ -1,0 +1,74 @@
+// Deterministic fault injection for the simulator.
+//
+// A FaultInjector schedules substrate failures — link up/down flaps, loss
+// bursts, partitions (a set of links down at once), and node crash/restart —
+// through the shared Simulator, so a seeded run replays the exact same fault
+// sequence every time. Random flap processes draw from an Rng forked off the
+// Network's root stream, keeping them reproducible and independent of other
+// stochastic elements (link loss, workloads).
+//
+// The control-plane resilience machinery (pvn/client.h retransmission and
+// lease renewal, pvn/server.h lease expiry and chain health) is tested and
+// benchmarked against faults injected here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/network.h"
+
+namespace pvn {
+
+// One injected state transition, recorded for test assertions and for the
+// resilience bench's timeline output.
+struct FaultEvent {
+  SimTime at = 0;
+  std::string kind;    // "link-down", "link-up", "loss-burst", "loss-end",
+                       // "node-crash", "node-restart"
+  std::string target;  // node name, or "a<->b" for a link
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Network& net)
+      : net_(&net), rng_(net.rng().fork()) {}
+
+  // --- immediate primitives (also usable directly from tests) ---
+  void fail_link(Link& link);
+  void restore_link(Link& link);
+  void crash_node(Node& node);
+  void restore_node(Node& node);
+
+  // --- scheduled, deterministic faults ---
+  // Takes the link down at `at` and restores it `down_for` later.
+  void link_flap(Link& link, SimTime at, SimDuration down_for);
+  // Raises the link's loss rate to `loss` for [at, at + duration), then
+  // restores the previous rate.
+  void loss_burst(Link& link, SimTime at, SimDuration duration, double loss);
+  // Crashes the node at `at`; restores it `down_for` later (0 = stays down).
+  void node_crash(Node& node, SimTime at, SimDuration down_for);
+  // Takes every listed link down for [at, at + duration): a partition
+  // separating whatever the links connect.
+  void partition(std::vector<Link*> links, SimTime at, SimDuration duration);
+
+  // A random flap process on one link: alternating exponentially-distributed
+  // up/down holding times, starting up at `from`, stopping after `until`.
+  // Driven entirely by this injector's forked RNG — reproducible per seed.
+  void random_flaps(Link& link, SimTime from, SimTime until,
+                    SimDuration mean_up, SimDuration mean_down);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::size_t injected() const { return events_.size(); }
+
+ private:
+  static std::string link_name(const Link& link);
+  void record(const std::string& kind, const std::string& target);
+  void flap_once(Link* link, SimTime until, SimDuration mean_up,
+                 SimDuration mean_down, bool currently_up);
+
+  Network* net_;
+  Rng rng_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace pvn

@@ -40,6 +40,10 @@ const LinkStats& Link::stats_from(const Node& n) const {
 
 void Link::transmit(const Node& from, Packet pkt) {
   Direction& dir = direction_from(from);
+  if (!up_) {
+    ++dir.stats.down_drops;
+    return;
+  }
   const std::int64_t sz = static_cast<std::int64_t>(pkt.size());
 
   // DropTail: the queue models bytes waiting for the serializer. If the
@@ -82,6 +86,11 @@ void Link::start_transmit(Direction& dir, Packet pkt) {
   sim.schedule_at(arrive, [this, dptr, pkt = std::move(pkt), lost,
                            from]() mutable {
     if (lost) return;
+    if (!dptr->to->is_up()) {
+      ++dptr->stats.down_drops;
+      ++dptr->to->down_drops_;
+      return;
+    }
     ++dptr->stats.delivered_packets;
     if (tap_) tap_(pkt, *from, *dptr->to);
     dptr->to->handle_packet(std::move(pkt), dptr->to_port);

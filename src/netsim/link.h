@@ -28,6 +28,7 @@ struct LinkStats {
   std::uint64_t delivered_packets = 0;
   std::uint64_t queue_drops = 0;
   std::uint64_t loss_drops = 0;
+  std::uint64_t down_drops = 0;  // link down, or destination node crashed
 };
 
 class Link {
@@ -43,8 +44,15 @@ class Link {
   void set_loss(double loss) { params_.loss = loss; }
   void set_latency(SimDuration latency) { params_.latency = latency; }
 
+  // Administrative state (netsim/faults.h). While down, new transmissions
+  // are dropped; packets already serialized onto the wire still arrive.
+  bool is_up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
   Node& peer_of(const Node& n) const;
   int port_at(const Node& n) const;
+  Node& end_a() const { return *a_; }
+  Node& end_b() const { return *b_; }
 
   // Called by Node::send. Direction is inferred from `from`.
   void transmit(const Node& from, Packet pkt);
@@ -70,6 +78,7 @@ class Link {
   int port_a_;
   int port_b_;
   LinkParams params_;
+  bool up_ = true;
   Direction ab_;  // a_ -> b_
   Direction ba_;  // b_ -> a_
   Rng rng_;

@@ -16,6 +16,10 @@ Link* Node::port_link(int port) const {
 }
 
 void Node::send(int port, Packet pkt) {
+  if (!up_) {
+    ++down_drops_;
+    return;
+  }
   Link* link = port_link(port);
   if (link == nullptr) {
     ++unwired_drops_;

@@ -31,6 +31,12 @@ class Node {
   Network& network() { return *net_; }
   Simulator& sim();
 
+  // Crash/restart state (driven by netsim/faults.h). A down node neither
+  // sends nor receives: Links drop deliveries to it and send() discards.
+  bool is_up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+  std::uint64_t dropped_while_down() const { return down_drops_; }
+
   int port_count() const { return static_cast<int>(ports_.size()); }
   // The link attached to `port`, or nullptr if the port is unwired.
   Link* port_link(int port) const;
@@ -53,7 +59,9 @@ class Node {
   Network* net_;
   std::string name_;
   std::vector<Link*> ports_;
+  bool up_ = true;
   std::uint64_t unwired_drops_ = 0;
+  std::uint64_t down_drops_ = 0;
   Logger log_;
 };
 

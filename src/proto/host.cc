@@ -26,8 +26,17 @@ void Host::handle_packet(Packet pkt, int in_port) {
     case IpProto::kUdp:
       on_udp(pkt.ip, pkt.l4);
       break;
+    case IpProto::kEsp:
+      // A device-side tunnel endpoint (tunnel/vpn.h): decapsulated inner
+      // packets re-enter the receive path as if they arrived directly.
+      if (esp_handler_) {
+        if (auto inner = esp_handler_(pkt)) {
+          handle_packet(std::move(*inner), in_port);
+        }
+      }
+      break;
     default:
-      // ICMP/ESP handled by subclasses (VPN gateways override handle_packet).
+      // ICMP handled by subclasses (VPN gateways override handle_packet).
       break;
   }
 }
@@ -35,6 +44,7 @@ void Host::handle_packet(Packet pkt, int in_port) {
 void Host::send_ip(Ipv4Addr dst, IpProto proto, Bytes l4, std::uint8_t tos) {
   Packet pkt = network().make_packet(addr_, dst, proto, std::move(l4));
   pkt.ip.tos = tos;
+  if (outbound_transform_) pkt = outbound_transform_(std::move(pkt));
   send(uplink_, std::move(pkt));
 }
 

@@ -35,6 +35,18 @@ class Host : public Node {
   // --- raw IP ---
   void send_ip(Ipv4Addr dst, IpProto proto, Bytes l4, std::uint8_t tos = 0);
 
+  // --- tunnel hooks (tunnel/vpn.h DeviceTunnel) ---
+  // Applied to every outbound IP packet just before transmission; lets a
+  // device-side VPN encapsulate traffic when the network's PVN is down.
+  using OutboundTransform = std::function<Packet(Packet)>;
+  void set_outbound_transform(OutboundTransform t) {
+    outbound_transform_ = std::move(t);
+  }
+  // Invoked for inbound ESP addressed to this host. A returned packet (the
+  // decapsulated inner datagram) re-enters the receive path.
+  using EspHandler = std::function<std::optional<Packet>(const Packet&)>;
+  void set_esp_handler(EspHandler h) { esp_handler_ = std::move(h); }
+
   // --- UDP ---
   void bind_udp(Port port, UdpHandler handler);
   void unbind_udp(Port port);
@@ -72,6 +84,8 @@ class Host : public Node {
 
   Ipv4Addr addr_;
   int uplink_ = 0;
+  OutboundTransform outbound_transform_;
+  EspHandler esp_handler_;
   Port next_ephemeral_ = 49152;
   std::map<Port, UdpHandler> udp_handlers_;
   struct Listener {

@@ -1,13 +1,56 @@
 #include "pvn/client.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "tunnel/vpn.h"
+
 namespace pvn {
 
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle: return "idle";
+    case SessionState::kDiscovering: return "discovering";
+    case SessionState::kDeploying: return "deploying";
+    case SessionState::kActive: return "active";
+    case SessionState::kFallback: return "fallback";
+  }
+  return "?";
+}
+
 PvnClient::PvnClient(Host& host, Pvnc pvnc, ClientConfig cfg)
-    : host_(&host), pvnc_(std::move(pvnc)), cfg_(std::move(cfg)) {
+    : host_(&host),
+      pvnc_(std::move(pvnc)),
+      cfg_(std::move(cfg)),
+      rng_(host.network().rng().fork()) {
   host_->bind_udp(local_port_, [this](Ipv4Addr, Port, Port,
                                       const Bytes& payload) {
     on_packet(payload);
   });
+}
+
+PvnClient::~PvnClient() {
+  cancel_timer(collect_timer_);
+  cancel_timer(rto_timer_);
+  cancel_timer(deadline_timer_);
+  cancel_timer(renew_timer_);
+  cancel_timer(fallback_timer_);
+  host_->unbind_udp(local_port_);
+}
+
+void PvnClient::cancel_timer(EventId& id) {
+  if (id != kInvalidEventId) {
+    host_->sim().cancel(id);
+    id = kInvalidEventId;
+  }
+}
+
+SimDuration PvnClient::jittered(SimDuration base, int attempt) const {
+  double d = static_cast<double>(base);
+  for (int i = 1; i < attempt; ++i) d *= cfg_.retry.backoff;
+  const double j = cfg_.retry.jitter;
+  if (j > 0.0) d *= rng_.uniform(1.0 - j, 1.0 + j);
+  return static_cast<SimDuration>(d);
 }
 
 void PvnClient::discover_and_deploy(Ipv4Addr server, DoneCallback done) {
@@ -15,12 +58,24 @@ void PvnClient::discover_and_deploy(Ipv4Addr server, DoneCallback done) {
   awaiting_ack_ = false;
   started_ = host_->sim().now();
   server_ = server;
-  offers_.clear();
+  discovery_round_ = 0;
+  deploy_attempt_ = 0;
   outcome_ = DeployOutcome{};
   done_ = std::move(done);
+  start_discovery_round();
+}
+
+void PvnClient::start_discovery_round() {
+  // While in fallback the session stays in kFallback through rediscovery
+  // attempts: the tunnel is still carrying traffic until a deploy lands.
+  if (session_ && !in_fallback_) set_state(SessionState::kDiscovering);
+  ++discovery_round_;
+  outcome_.discovery_rounds = discovery_round_;
+  offers_.clear();
+  outcome_.offers_received = 0;
 
   DiscoveryMessage dm;
-  dm.seq = ++seq_;
+  dm.seq = ++seq_;  // fresh seq per round: stale offers are ignored
   dm.device_id = pvnc_.name;
   dm.standards = cfg_.standards;
   dm.modules = pvnc_.module_names();
@@ -29,8 +84,13 @@ void PvnClient::discover_and_deploy(Ipv4Addr server, DoneCallback done) {
                   wrap(PvnMsgType::kDiscovery, dm.encode()));
   ++outcome_.messages_sent;
 
-  timer_ = host_->sim().schedule_after(cfg_.offer_wait, [this] {
-    timer_ = kInvalidEventId;
+  // Round 1 waits exactly offer_wait (keeps the happy-path deployment
+  // latency deterministic); later rounds back off with jitter.
+  const SimDuration wait = discovery_round_ == 1
+                               ? cfg_.offer_wait
+                               : jittered(cfg_.offer_wait, discovery_round_);
+  collect_timer_ = host_->sim().schedule_after(wait, [this] {
+    collect_timer_ = kInvalidEventId;
     on_offers_collected();
   });
 }
@@ -43,9 +103,13 @@ void PvnClient::teardown(Ipv4Addr server) {
 }
 
 void PvnClient::on_packet(const Bytes& payload) {
-  if (!in_progress_) return;
   const auto msg = unwrap(payload);
   if (!msg) return;
+  if (msg->first == PvnMsgType::kLeaseAck) {
+    if (const auto ack = LeaseAck::decode(msg->second)) on_lease_ack(*ack);
+    return;
+  }
+  if (!in_progress_) return;
   ++outcome_.messages_received;
 
   switch (msg->first) {
@@ -62,6 +126,7 @@ void PvnClient::on_packet(const Bytes& payload) {
       if (ack && ack->seq == seq_ && awaiting_ack_) {
         outcome_.ok = true;
         outcome_.chain_id = ack->chain_id;
+        outcome_.lease_duration = ack->lease_duration;
         finish(outcome_);
       }
       break;
@@ -82,19 +147,22 @@ void PvnClient::on_packet(const Bytes& payload) {
 
 void PvnClient::on_offers_collected() {
   if (!in_progress_ || awaiting_ack_) return;
+  if (offers_.empty() &&
+      discovery_round_ < cfg_.retry.max_discovery_rounds) {
+    start_discovery_round();  // retransmit: the discovery may have been lost
+    return;
+  }
   const std::vector<std::string> requested = pvnc_.module_names();
   const int best = pick_best_offer(offers_, requested, cfg_.constraints,
                                    host_->sim().now());
   if (best < 0) {
-    outcome_.ok = false;
-    outcome_.failure = offers_.empty() ? "no offers (network lacks PVN support)"
-                                       : "no acceptable offer";
-    finish(outcome_);
+    fail(offers_.empty() ? "no offers (network lacks PVN support)"
+                         : "no acceptable offer");
     return;
   }
-  const Offer& offer = offers_[static_cast<std::size_t>(best)];
-  const NegotiationResult negotiated =
-      evaluate_offer(offer, requested, cfg_.constraints, host_->sim().now());
+  chosen_offer_ = offers_[static_cast<std::size_t>(best)];
+  const NegotiationResult negotiated = evaluate_offer(
+      chosen_offer_, requested, cfg_.constraints, host_->sim().now());
 
   DeployRequest req;
   req.seq = seq_;
@@ -106,33 +174,204 @@ void PvnClient::on_offers_collected() {
   } else {
     req.pvnc_uri = cfg_.pvnc_uri;  // the provider fetches the object itself
   }
-  req.payment = offer.total_price;
-  outcome_.paid = offer.total_price;
+  req.payment = chosen_offer_.total_price;
+  // Tell the server which modules the user's policy treats as hard
+  // constraints: losing one of those later cannot be degraded around.
+  req.required_modules = cfg_.constraints.required_modules;
+  outcome_.paid = chosen_offer_.total_price;
   outcome_.utility = negotiated.utility;
   outcome_.deployed_modules = req.pvnc.module_names();
 
+  deploy_bytes_ = wrap(PvnMsgType::kDeployRequest, req.encode());
+  deploy_attempt_ = 0;
   awaiting_ack_ = true;
-  host_->send_udp(offer.deployment_server, local_port_, kPvnPort,
-                  wrap(PvnMsgType::kDeployRequest, req.encode()));
+  if (session_ && !in_fallback_) set_state(SessionState::kDeploying);
+
+  // Overall deadline, independent of per-attempt retransmission timers.
+  deadline_timer_ = host_->sim().schedule_after(cfg_.deploy_timeout, [this] {
+    deadline_timer_ = kInvalidEventId;
+    if (!in_progress_) return;
+    fail("deploy timeout");
+  });
+  send_deploy_request();
+}
+
+void PvnClient::send_deploy_request() {
+  // An offer can lapse between collection and a retransmission; deploying
+  // against it would only earn a nack, so restart discovery instead.
+  if (chosen_offer_.expires_at != 0 &&
+      host_->sim().now() > chosen_offer_.expires_at) {
+    awaiting_ack_ = false;
+    cancel_timer(deadline_timer_);
+    if (discovery_round_ < cfg_.retry.max_discovery_rounds) {
+      start_discovery_round();
+    } else {
+      fail("offer expired before deployment");
+    }
+    return;
+  }
+  ++deploy_attempt_;
+  outcome_.deploy_attempts = deploy_attempt_;
+  if (deploy_attempt_ > 1) ++retransmissions_;
+  host_->send_udp(chosen_offer_.deployment_server, local_port_, kPvnPort,
+                  deploy_bytes_);
   ++outcome_.messages_sent;
 
-  timer_ = host_->sim().schedule_after(cfg_.deploy_timeout, [this] {
-    timer_ = kInvalidEventId;
-    if (!in_progress_) return;
-    outcome_.ok = false;
-    outcome_.failure = "deploy timeout";
-    finish(outcome_);
-  });
+  if (deploy_attempt_ >= cfg_.retry.max_deploy_attempts) return;  // deadline decides
+  rto_timer_ = host_->sim().schedule_after(
+      jittered(cfg_.retry.deploy_rto, deploy_attempt_), [this] {
+        rto_timer_ = kInvalidEventId;
+        if (!in_progress_ || !awaiting_ack_) return;
+        send_deploy_request();
+      });
+}
+
+void PvnClient::fail(const std::string& reason) {
+  outcome_.ok = false;
+  outcome_.failure = reason;
+  finish(outcome_);
 }
 
 void PvnClient::finish(DeployOutcome outcome) {
-  if (timer_ != kInvalidEventId) {
-    host_->sim().cancel(timer_);
-    timer_ = kInvalidEventId;
-  }
+  cancel_timer(collect_timer_);
+  cancel_timer(rto_timer_);
+  cancel_timer(deadline_timer_);
   in_progress_ = false;
+  awaiting_ack_ = false;
   outcome.elapsed = host_->sim().now() - started_;
-  if (done_) done_(outcome);
+  if (done_) {
+    // Move out first: the callback may start a new cycle (session retry).
+    DoneCallback cb = std::move(done_);
+    done_ = nullptr;
+    cb(outcome);
+  }
+  if (session_) on_session_outcome(outcome);
+}
+
+// --- session mode ----------------------------------------------------------
+
+void PvnClient::set_state(SessionState s) {
+  if (state_ == s) return;
+  state_ = s;
+  if (on_state_) on_state_(s);
+}
+
+void PvnClient::start_session(Ipv4Addr server, DoneCallback done) {
+  stop_session();
+  session_ = true;
+  server_ = server;
+  session_done_ = std::move(done);
+  session_cycle();
+}
+
+void PvnClient::stop_session() {
+  session_ = false;
+  cancel_timer(renew_timer_);
+  cancel_timer(fallback_timer_);
+  renew_misses_ = 0;
+  fallback_delay_ = 0;
+  in_fallback_ = false;
+  if (fallback_ != nullptr && fallback_->active()) fallback_->disable();
+  set_state(SessionState::kIdle);
+}
+
+void PvnClient::session_cycle() {
+  if (!session_ || in_progress_) return;
+  discover_and_deploy(server_, nullptr);
+}
+
+void PvnClient::on_session_outcome(const DeployOutcome& outcome) {
+  if (!session_) return;
+  if (session_done_) session_done_(outcome);
+  if (outcome.ok) {
+    enter_active(outcome);
+  } else {
+    enter_fallback();
+  }
+}
+
+void PvnClient::enter_active(const DeployOutcome& outcome) {
+  chain_id_ = outcome.chain_id;
+  lease_ = outcome.lease_duration;
+  renew_misses_ = 0;
+  fallback_delay_ = 0;
+  degraded_modules_.clear();
+  cancel_timer(fallback_timer_);
+  if (in_fallback_) {
+    in_fallback_ = false;
+    ++recoveries_;
+  }
+  if (fallback_ != nullptr && fallback_->active()) fallback_->disable();
+  set_state(SessionState::kActive);
+  if (lease_ > 0) {
+    const int div = std::max(1, cfg_.session.renew_divisor);
+    renew_timer_ = host_->sim().schedule_after(lease_ / div, [this] {
+      renew_timer_ = kInvalidEventId;
+      send_renew();
+    });
+  }
+}
+
+void PvnClient::enter_fallback() {
+  cancel_timer(renew_timer_);
+  chain_id_.clear();
+  if (!in_fallback_) {
+    in_fallback_ = true;
+    ++failovers_;
+    if (fallback_ != nullptr) fallback_->enable();
+    set_state(SessionState::kFallback);
+    fallback_delay_ = cfg_.session.fallback_retry;
+  } else {
+    const auto scaled = static_cast<SimDuration>(
+        static_cast<double>(fallback_delay_) * cfg_.session.fallback_backoff);
+    fallback_delay_ = std::min(scaled, cfg_.session.fallback_retry_max);
+  }
+  SimDuration delay = fallback_delay_;
+  const double j = cfg_.retry.jitter;
+  if (j > 0.0) {
+    delay = static_cast<SimDuration>(static_cast<double>(delay) *
+                                     rng_.uniform(1.0 - j, 1.0 + j));
+  }
+  fallback_timer_ = host_->sim().schedule_after(delay, [this] {
+    fallback_timer_ = kInvalidEventId;
+    session_cycle();
+  });
+}
+
+void PvnClient::send_renew() {
+  if (!session_ || state_ != SessionState::kActive) return;
+  if (renew_misses_ >= cfg_.session.renew_miss_limit) {
+    // The server has stopped answering: treat the PVN as lost.
+    enter_fallback();
+    return;
+  }
+  LeaseRenew renew;
+  renew.seq = ++renew_seq_;
+  renew.device_id = pvnc_.name;
+  renew.chain_id = chain_id_;
+  host_->send_udp(server_, local_port_, kPvnPort,
+                  wrap(PvnMsgType::kLeaseRenew, renew.encode()));
+  ++renews_sent_;
+  ++renew_misses_;  // cleared when the ack arrives
+  const int div = std::max(1, cfg_.session.renew_divisor);
+  renew_timer_ = host_->sim().schedule_after(lease_ / div, [this] {
+    renew_timer_ = kInvalidEventId;
+    send_renew();
+  });
+}
+
+void PvnClient::on_lease_ack(const LeaseAck& ack) {
+  if (!session_ || state_ != SessionState::kActive) return;
+  if (ack.seq != renew_seq_) return;  // stale
+  if (!ack.ok) {
+    // Lease refused (chain lost, lease expired server-side, ...).
+    enter_fallback();
+    return;
+  }
+  renew_misses_ = 0;
+  renews_acked_ += 1;
+  if (ack.lease_duration > 0) lease_ = ack.lease_duration;
+  degraded_modules_ = ack.degraded_modules;
 }
 
 }  // namespace pvn

@@ -1,13 +1,28 @@
 // The device-side PVN agent (paper §3.1): discovers PVN support, collects
 // offers, negotiates per the user's constraints, and deploys the PVNC.
+//
+// Control-plane resilience (§3.3 "Coping with unavailability"):
+//   - Discovery is retried with exponential backoff when a round yields no
+//     offers (lossy access links); each round uses a fresh sequence number.
+//   - The deployment request is retransmitted with backoff + jitter until
+//     acked, nacked, attempts are exhausted, or the overall deploy_timeout
+//     deadline passes. Retransmissions reuse the sequence number so the
+//     server can deduplicate.
+//   - In session mode (start_session) the client renews its deployment
+//     lease periodically; when the lease is lost — renewals unanswered or
+//     refused — it fails over to a device VPN tunnel (tunnel/vpn.h
+//     DeviceTunnel) and keeps rediscovering until the PVN comes back.
 #pragma once
 
 #include <functional>
 
 #include "proto/host.h"
 #include "pvn/negotiation.h"
+#include "util/rng.h"
 
 namespace pvn {
+
+class DeviceTunnel;
 
 struct DeployOutcome {
   bool ok = false;
@@ -21,24 +36,57 @@ struct DeployOutcome {
   int offers_received = 0;
   SimDuration elapsed = 0;
   std::vector<std::string> deployed_modules;
+  // Resilience telemetry (experiment E16).
+  int discovery_rounds = 0;    // discovery messages sent
+  int deploy_attempts = 0;     // deploy request transmissions
+  SimDuration lease_duration = 0;  // 0 = server granted no lease
+};
+
+// Retransmission parameters. Delays grow by `backoff` per attempt and are
+// jittered uniformly in [1-jitter, 1+jitter] to avoid lockstep retries.
+struct RetryPolicy {
+  int max_discovery_rounds = 3;
+  int max_deploy_attempts = 3;
+  SimDuration deploy_rto = milliseconds(400);
+  double backoff = 2.0;
+  double jitter = 0.2;
+};
+
+// Session-mode (lease + failover) parameters.
+struct SessionConfig {
+  int renew_divisor = 3;        // renew every lease_duration / renew_divisor
+  int renew_miss_limit = 2;     // unanswered renewals before failover
+  SimDuration fallback_retry = seconds(5);   // first rediscovery delay
+  double fallback_backoff = 1.5;
+  SimDuration fallback_retry_max = seconds(40);
 };
 
 struct ClientConfig {
   std::vector<std::string> standards = {"openflow-lite", "mbox-v1"};
   SimDuration offer_wait = milliseconds(250);  // collect offers this long
-  SimDuration deploy_timeout = seconds(5);
+  SimDuration deploy_timeout = seconds(5);     // overall deploy deadline
   Constraints constraints;
   // When set, the deployment request carries this cloud-storage URI
   // ("pvnc://<ip>/<path>") instead of the inline PVNC object (§3.1); the
   // provider fetches and deploys the subset its policy allows.
   std::string pvnc_uri;
+  RetryPolicy retry;
+  SessionConfig session;
 };
+
+enum class SessionState { kIdle, kDiscovering, kDeploying, kActive, kFallback };
+const char* to_string(SessionState s);
 
 class PvnClient {
  public:
   using DoneCallback = std::function<void(const DeployOutcome&)>;
+  using StateCallback = std::function<void(SessionState)>;
 
   PvnClient(Host& host, Pvnc pvnc, ClientConfig cfg = {});
+  ~PvnClient();
+
+  PvnClient(const PvnClient&) = delete;
+  PvnClient& operator=(const PvnClient&) = delete;
 
   // Runs discovery -> negotiation -> deployment against `server` (a known
   // deployment server address from DHCP, or kPvnAnycast for flooding).
@@ -47,26 +95,99 @@ class PvnClient {
   // Sends a teardown for this device's deployment.
   void teardown(Ipv4Addr server);
 
+  // --- resilient session mode -------------------------------------------
+  // Deploys and then keeps the deployment alive: renews the lease, fails
+  // over to `set_fallback`'s tunnel when the PVN is lost, and recovers
+  // automatically. `done` (optional) fires after every deploy attempt
+  // cycle, successful or not.
+  void start_session(Ipv4Addr server, DoneCallback done = nullptr);
+  void stop_session();
+
+  // Tunnel enabled while the session is in fallback. Must outlive the
+  // session. Optional: without it the client still rediscovers, it just
+  // has no data-plane escape hatch in the meantime.
+  void set_fallback(DeviceTunnel* tunnel) { fallback_ = tunnel; }
+  void set_state_callback(StateCallback cb) { on_state_ = std::move(cb); }
+
+  SessionState state() const { return state_; }
+  const std::string& chain_id() const { return chain_id_; }
+  const std::vector<std::string>& degraded_modules() const {
+    return degraded_modules_;
+  }
+
   const Pvnc& pvnc() const { return pvnc_; }
+
+  // Resilience telemetry.
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t renews_sent() const { return renews_sent_; }
+  std::uint64_t renews_acked() const { return renews_acked_; }
 
  private:
   void on_packet(const Bytes& payload);
+  void start_discovery_round();
   void on_offers_collected();
+  void send_deploy_request();
   void finish(DeployOutcome outcome);
+  void fail(const std::string& reason);
+
+  // Session internals.
+  void set_state(SessionState s);
+  void session_cycle();
+  void on_session_outcome(const DeployOutcome& outcome);
+  void enter_active(const DeployOutcome& outcome);
+  void enter_fallback();
+  void send_renew();
+  void on_lease_ack(const LeaseAck& ack);
+
+  SimDuration jittered(SimDuration base, int attempt) const;
+  void cancel_timer(EventId& id);
 
   Host* host_;
   Pvnc pvnc_;
   ClientConfig cfg_;
   Port local_port_ = 3031;
+  mutable Rng rng_;
+
+  // One discovery/deploy cycle.
   std::uint32_t seq_ = 0;
   bool in_progress_ = false;
   SimTime started_ = 0;
   Ipv4Addr server_;
   std::vector<Offer> offers_;
+  int discovery_round_ = 0;
+  int deploy_attempt_ = 0;
+  Offer chosen_offer_;
+  Bytes deploy_bytes_;  // encoded request, reused verbatim on retransmit
   DeployOutcome outcome_;
   DoneCallback done_;
-  EventId timer_ = kInvalidEventId;
+  EventId collect_timer_ = kInvalidEventId;
+  EventId rto_timer_ = kInvalidEventId;
+  EventId deadline_timer_ = kInvalidEventId;
   bool awaiting_ack_ = false;
+
+  // Session state.
+  bool session_ = false;
+  bool in_fallback_ = false;  // sticky across rediscovery attempts
+  SessionState state_ = SessionState::kIdle;
+  StateCallback on_state_;
+  DoneCallback session_done_;
+  DeviceTunnel* fallback_ = nullptr;
+  std::string chain_id_;
+  SimDuration lease_ = 0;
+  std::uint32_t renew_seq_ = 0;
+  int renew_misses_ = 0;
+  SimDuration fallback_delay_ = 0;
+  std::vector<std::string> degraded_modules_;
+  EventId renew_timer_ = kInvalidEventId;
+  EventId fallback_timer_ = kInvalidEventId;
+
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t renews_sent_ = 0;
+  std::uint64_t renews_acked_ = 0;
 };
 
 }  // namespace pvn

@@ -11,7 +11,12 @@ void encode_strings(ByteWriter& w, const std::vector<std::string>& v) {
 std::vector<std::string> decode_strings(ByteReader& r) {
   std::vector<std::string> out;
   const std::uint16_t n = r.u16();
-  for (std::uint16_t i = 0; i < n; ++i) out.push_back(r.str());
+  for (std::uint16_t i = 0; i < n; ++i) {
+    // Bail as soon as the reader overruns: a corrupted count would otherwise
+    // spin through up to 64Ki failed reads per list.
+    if (!r.ok()) break;
+    out.push_back(r.str());
+  }
   return out;
 }
 
@@ -85,6 +90,7 @@ Bytes DeployRequest::encode() const {
   w.blob(pvnc.encode());
   w.str(pvnc_uri);
   w.f64(payment);
+  encode_strings(w, required_modules);
   return std::move(w).take();
 }
 
@@ -93,11 +99,14 @@ std::optional<DeployRequest> DeployRequest::decode(const Bytes& raw) {
   DeployRequest m;
   m.seq = r.u32();
   m.device_id = r.str();
-  const auto pvnc = Pvnc::decode(r.blob());
+  const Bytes pvnc_raw = r.blob();
+  if (!r.ok()) return std::nullopt;  // don't hand a bogus blob to Pvnc
+  const auto pvnc = Pvnc::decode(pvnc_raw);
   if (!pvnc) return std::nullopt;
   m.pvnc = *pvnc;
   m.pvnc_uri = r.str();
   m.payment = r.f64();
+  m.required_modules = decode_strings(r);
   if (!r.exhausted()) return std::nullopt;
   return m;
 }
@@ -121,6 +130,7 @@ Bytes DeployAck::encode() const {
   w.u32(seq);
   w.str(chain_id);
   w.u8(dhcp_refresh ? 1 : 0);
+  w.i64(lease_duration);
   return std::move(w).take();
 }
 
@@ -130,7 +140,48 @@ std::optional<DeployAck> DeployAck::decode(const Bytes& raw) {
   m.seq = r.u32();
   m.chain_id = r.str();
   m.dhcp_refresh = r.u8() != 0;
+  m.lease_duration = r.i64();
+  if (!r.exhausted() || m.lease_duration < 0) return std::nullopt;
+  return m;
+}
+
+Bytes LeaseRenew::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.str(device_id);
+  w.str(chain_id);
+  return std::move(w).take();
+}
+
+std::optional<LeaseRenew> LeaseRenew::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  LeaseRenew m;
+  m.seq = r.u32();
+  m.device_id = r.str();
+  m.chain_id = r.str();
   if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+Bytes LeaseAck::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.u8(ok ? 1 : 0);
+  w.i64(lease_duration);
+  encode_strings(w, degraded_modules);
+  w.str(reason);
+  return std::move(w).take();
+}
+
+std::optional<LeaseAck> LeaseAck::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  LeaseAck m;
+  m.seq = r.u32();
+  m.ok = r.u8() != 0;
+  m.lease_duration = r.i64();
+  m.degraded_modules = decode_strings(r);
+  m.reason = r.str();
+  if (!r.exhausted() || m.lease_duration < 0) return std::nullopt;
   return m;
 }
 

@@ -4,8 +4,16 @@
 //     | -- DiscoveryMessage  -->     |   (direct, or anycast flooding)
 //     | <-- Offer ------------       |   (subset of modules, price, expiry)
 //     | -- DeployRequest ---->       |   (PVNC + payment)
-//     | <-- DeployAck --------       |   (chain id, triggers DHCP refresh)
+//     | <-- DeployAck --------       |   (chain id, lease, DHCP refresh)
 //     | <-- DeployNack -------       |   (failure reason)
+//     | -- LeaseRenew ------->       |   (periodic, keeps the chain alive)
+//     | <-- LeaseAck ---------       |   (extends / rejects the lease)
+//
+// All datagrams may be lost: clients retransmit with backoff, and the server
+// treats a (device_id, seq) pair as idempotent, so duplicates re-ack rather
+// than re-deploy. Deployments are leases — a server configured with a lease
+// duration expires chains whose owner stops renewing and reclaims their
+// middlebox memory.
 #pragma once
 
 #include <optional>
@@ -26,6 +34,8 @@ enum class PvnMsgType : std::uint8_t {
   kDeployNack = 5,
   kTeardown = 6,
   kTeardownAck = 7,
+  kLeaseRenew = 8,
+  kLeaseAck = 9,
 };
 
 struct DiscoveryMessage {
@@ -61,6 +71,10 @@ struct DeployRequest {
   // the subset of it that its policy allows.
   std::string pvnc_uri;
   double payment = 0.0;
+  // The client's hard constraints among the deployed modules. If one of
+  // these is later lost to a middlebox failure the server must reject the
+  // lease (the client falls back to tunneling) instead of degrading.
+  std::vector<std::string> required_modules;
 
   Bytes encode() const;
   static std::optional<DeployRequest> decode(const Bytes& raw);
@@ -73,9 +87,34 @@ struct DeployAck {
   std::uint32_t seq = 0;
   std::string chain_id;
   bool dhcp_refresh = true;
+  // How long the deployment stays alive without a renew (0 = no lease: the
+  // chain persists until an explicit teardown).
+  SimDuration lease_duration = 0;
 
   Bytes encode() const;
   static std::optional<DeployAck> decode(const Bytes& raw);
+};
+
+struct LeaseRenew {
+  std::uint32_t seq = 0;
+  std::string device_id;
+  std::string chain_id;
+
+  Bytes encode() const;
+  static std::optional<LeaseRenew> decode(const Bytes& raw);
+};
+
+struct LeaseAck {
+  std::uint32_t seq = 0;
+  bool ok = false;
+  SimDuration lease_duration = 0;
+  // Modules the server can no longer run (middlebox failure) but has
+  // bypassed because the client marked them optional.
+  std::vector<std::string> degraded_modules;
+  std::string reason;  // set when !ok
+
+  Bytes encode() const;
+  static std::optional<LeaseAck> decode(const Bytes& raw);
 };
 
 struct DeployNack {

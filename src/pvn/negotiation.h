@@ -3,6 +3,7 @@
 // connect to a given access network, and under what conditions."
 #pragma once
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -14,7 +15,8 @@ namespace pvn {
 struct Constraints {
   // Hard: the deployment is unacceptable without these.
   std::vector<std::string> required_modules;
-  double max_price = 1e9;
+  // No budget by default: any finite price is acceptable.
+  double max_price = std::numeric_limits<double>::infinity();
 
   // Soft: utility gained per module deployed (missing = 0 utility).
   std::map<std::string, double> module_utility;

@@ -90,20 +90,24 @@ std::optional<Pvnc> Pvnc::decode(const Bytes& raw) {
   Pvnc pvnc;
   pvnc.name = r.str();
   const std::uint16_t nmods = r.u16();
-  for (std::uint16_t i = 0; i < nmods; ++i) {
+  for (std::uint16_t i = 0; i < nmods && r.ok(); ++i) {
     PvncModule m;
     m.store_name = r.str();
     const std::uint16_t nparams = r.u16();
-    for (std::uint16_t j = 0; j < nparams; ++j) {
+    for (std::uint16_t j = 0; j < nparams && r.ok(); ++j) {
       const std::string k = r.str();
       m.params[k] = r.str();
     }
     pvnc.chain.push_back(std::move(m));
   }
   const std::uint16_t npol = r.u16();
-  for (std::uint16_t i = 0; i < npol; ++i) {
+  for (std::uint16_t i = 0; i < npol && r.ok(); ++i) {
     PvncPolicy p;
-    p.kind = static_cast<PvncPolicy::Kind>(r.u8());
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(PvncPolicy::Kind::kTunnel)) {
+      return std::nullopt;
+    }
+    p.kind = static_cast<PvncPolicy::Kind>(kind);
     p.match = decode_match(r);
     p.rate = Rate{r.i64()};
     p.tos = r.u8();

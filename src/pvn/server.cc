@@ -19,9 +19,14 @@ DeploymentServer::DeploymentServer(Host& host, PvnStore& store,
                                    const Bytes& payload) {
     on_packet(src, sport, payload);
   });
+  mbox_host_->set_crash_listener([this] { on_mbox_crash(); });
 }
 
-DeploymentServer::~DeploymentServer() { host_->unbind_udp(kPvnPort); }
+DeploymentServer::~DeploymentServer() {
+  if (sweep_timer_ != kInvalidEventId) host_->sim().cancel(sweep_timer_);
+  mbox_host_->set_crash_listener(nullptr);
+  host_->unbind_udp(kPvnPort);
+}
 
 void DeploymentServer::on_packet(Ipv4Addr src, Port sport,
                                  const Bytes& payload) {
@@ -43,6 +48,12 @@ void DeploymentServer::on_packet(Ipv4Addr src, Port sport,
     case PvnMsgType::kTeardown: {
       if (const auto td = Teardown::decode(msg->second)) {
         handle_teardown(src, sport, *td);
+      }
+      break;
+    }
+    case PvnMsgType::kLeaseRenew: {
+      if (const auto renew = LeaseRenew::decode(msg->second)) {
+        handle_renew(src, sport, *renew);
       }
       break;
     }
@@ -137,6 +148,25 @@ void DeploymentServer::resolve_and_deploy(Ipv4Addr src, Port sport,
 void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
                                      const DeployRequest& req) {
   if (drop_deploys_) return;  // failure injection: silent server
+  // Idempotence: a retransmission of an acked request gets the cached ack
+  // (the first ack may have been lost); one still in flight is dropped.
+  // Retransmissions are byte-identical (the client re-sends the encoded
+  // request verbatim), which distinguishes them from a fresh client session
+  // that happens to reuse a sequence number with a different PVNC.
+  const Bytes req_bytes = req.encode();
+  if (const auto it = deployments_.find(req.device_id);
+      it != deployments_.end() && it->second.seq == req.seq &&
+      it->second.request_bytes == req_bytes &&
+      !it->second.ack_bytes.empty()) {
+    ++duplicates_;
+    host_->send_udp(src, kPvnPort, sport, it->second.ack_bytes);
+    return;
+  }
+  if (const auto p = pending_.find(req.device_id);
+      p != pending_.end() && p->second == req_bytes) {
+    ++duplicates_;
+    return;  // the in-flight deployment will answer
+  }
   // Validate against the store.
   const std::vector<std::string> problems = validate_pvnc(req.pvnc, store_);
   if (!problems.empty()) {
@@ -158,6 +188,10 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
     nack(src, sport, req.seq, "insufficient payment");
     return;
   }
+  if (mbox_host_->crashed()) {
+    nack(src, sport, req.seq, "middlebox host unavailable");
+    return;
+  }
   // Memory admission control.
   if (mbox_host_->memory_in_use() + req.pvnc.est_memory_bytes() >
       mbox_host_->memory_budget()) {
@@ -165,11 +199,7 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
     return;
   }
   // Tear down any previous deployment for this device.
-  if (deployments_.contains(req.device_id)) {
-    Teardown td;
-    td.device_id = req.device_id;
-    handle_teardown(src, 0, td);
-  }
+  teardown_device(req.device_id);
 
   const std::string chain_id =
       "chain:" + req.device_id + ":" + std::to_string(chain_seq_++);
@@ -179,6 +209,13 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
   deployment->cookie = cookie;
   deployment->chain_id = chain_id;
   deployment->paid = price;
+  deployment->seq = req.seq;
+  deployment->mbox_generation = mbox_host_->crashes();
+  deployment->module_names = req.pvnc.module_names();
+  deployment->required_modules = req.required_modules;
+  deployment->request_bytes = req_bytes;
+
+  pending_[req.device_id] = req_bytes;
 
   // Instantiate the chain's modules (each charges instantiation delay).
   auto remaining = std::make_shared<int>(0);
@@ -201,6 +238,7 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
 
     SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name);
     if (sw == nullptr) {
+      pending_.erase(req.device_id);
       nack(src, sport, req.seq, "no dataplane");
       return;
     }
@@ -209,35 +247,35 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
       controller_->add_meter(cfg_.switch_name, meter.id, meter.rate,
                              meter.burst_bytes);
     }
-    auto pending = std::make_shared<int>(static_cast<int>(compiled.rules.size()));
-    for (const auto& [table, rule] : compiled.rules) {
-      controller_->install_rule(
-          cfg_.switch_name, table, rule,
-          [this, pending, src, sport, req, deployment, price](bool ok) {
-            (void)ok;
-            if (--*pending > 0) return;
-            // All rules in: acknowledge and bill.
-            deployments_[req.device_id] = *deployment;
-            ++deploy_count_;
-            ledger_->charge(host_->sim().now(), req.device_id,
-                            cfg_.network_name, price,
-                            "pvn deployment " + deployment->chain_id);
-            DeployAck ack;
-            ack.seq = req.seq;
-            ack.chain_id = deployment->chain_id;
-            host_->send_udp(src, kPvnPort, sport,
-                            wrap(PvnMsgType::kDeployAck, ack.encode()));
-          });
-    }
-    if (compiled.rules.empty()) {
-      deployments_[req.device_id] = *deployment;
-      ++deploy_count_;
+    const auto ack_deployment = [this, src, sport, req, deployment, price] {
+      if (cfg_.lease_duration > 0) {
+        deployment->expires_at = host_->sim().now() + cfg_.lease_duration;
+      }
       DeployAck ack;
       ack.seq = req.seq;
       ack.chain_id = deployment->chain_id;
-      host_->send_udp(src, kPvnPort, sport,
-                      wrap(PvnMsgType::kDeployAck, ack.encode()));
+      ack.lease_duration = cfg_.lease_duration;
+      deployment->ack_bytes = wrap(PvnMsgType::kDeployAck, ack.encode());
+      deployments_[req.device_id] = *deployment;
+      pending_.erase(req.device_id);
+      ++deploy_count_;
+      if (price > 0.0) {
+        ledger_->charge(host_->sim().now(), req.device_id, cfg_.network_name,
+                        price, "pvn deployment " + deployment->chain_id);
+      }
+      host_->send_udp(src, kPvnPort, sport, deployment->ack_bytes);
+      arm_sweep();
+    };
+    auto pending = std::make_shared<int>(static_cast<int>(compiled.rules.size()));
+    for (const auto& [table, rule] : compiled.rules) {
+      controller_->install_rule(cfg_.switch_name, table, rule,
+                                [pending, ack_deployment](bool ok) {
+                                  (void)ok;
+                                  if (--*pending > 0) return;
+                                  ack_deployment();  // all rules in
+                                });
     }
+    if (compiled.rules.empty()) ack_deployment();
   };
 
   std::vector<PvncModule> to_instantiate;
@@ -254,6 +292,7 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
     std::unique_ptr<Middlebox> instance =
         store_->make(module.store_name, module.params);
     if (instance == nullptr) {
+      pending_.erase(req.device_id);
       nack(src, sport, req.seq, "cannot instantiate " + module.store_name);
       return;
     }
@@ -264,7 +303,10 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
           if (*failed) return;
           if (mbox == nullptr) {
             *failed = true;
-            nack(src, sport, req.seq, "out of middlebox memory");
+            pending_.erase(req.device_id);
+            nack(src, sport, req.seq,
+                 mbox_host_->crashed() ? "middlebox host unavailable"
+                                       : "out of middlebox memory");
             return;
           }
           deployment->instances.push_back(mbox);
@@ -279,23 +321,112 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
   }
 }
 
-void DeploymentServer::handle_teardown(Ipv4Addr src, Port sport,
-                                       const Teardown& td) {
-  const auto it = deployments_.find(td.device_id);
-  if (it != deployments_.end()) {
-    const Deployment& dep = it->second;
-    controller_->remove_by_cookie(dep.cookie);
-    if (SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name)) {
-      sw->unregister_processor(dep.chain_id);
-    }
+void DeploymentServer::teardown_device(const std::string& device_id) {
+  const auto it = deployments_.find(device_id);
+  if (it == deployments_.end()) return;
+  const Deployment& dep = it->second;
+  controller_->remove_by_cookie(dep.cookie);
+  if (SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name)) {
+    sw->unregister_processor(dep.chain_id);
+  }
+  // A MboxHost crash already destroyed older-generation chains/instances;
+  // destroying them again would touch freed memory.
+  if (dep.mbox_generation == mbox_host_->crashes()) {
     for (Middlebox* m : dep.instances) mbox_host_->destroy(m);
     mbox_host_->destroy_chain(dep.chain_id);
-    deployments_.erase(it);
   }
+  deployments_.erase(it);
+}
+
+void DeploymentServer::handle_teardown(Ipv4Addr src, Port sport,
+                                       const Teardown& td) {
+  teardown_device(td.device_id);
   if (sport != 0) {
     host_->send_udp(src, kPvnPort, sport,
                     wrap(PvnMsgType::kTeardownAck, Bytes{}));
   }
+}
+
+void DeploymentServer::handle_renew(Ipv4Addr src, Port sport,
+                                    const LeaseRenew& renew) {
+  LeaseAck ack;
+  ack.seq = renew.seq;
+  const auto it = deployments_.find(renew.device_id);
+  if (it == deployments_.end() || it->second.chain_id != renew.chain_id) {
+    ack.ok = false;
+    ack.reason = "no such deployment";
+  } else {
+    Deployment& dep = it->second;
+    ack.ok = true;
+    ack.lease_duration = cfg_.lease_duration;
+    if (cfg_.lease_duration > 0) {
+      dep.expires_at = host_->sim().now() + cfg_.lease_duration;
+    }
+    if (dep.degraded) ack.degraded_modules = dep.module_names;
+    ++renews_;
+  }
+  host_->send_udp(src, kPvnPort, sport,
+                  wrap(PvnMsgType::kLeaseAck, ack.encode()));
+}
+
+void DeploymentServer::on_mbox_crash() {
+  // Runs synchronously from MboxHost::crash(): the chains are gone, so
+  // first unhook their (now dangling) processors from the dataplane.
+  SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name);
+  std::vector<std::string> to_teardown;
+  for (auto& [device_id, dep] : deployments_) {
+    if (dep.mbox_generation == mbox_host_->crashes()) continue;  // unaffected
+    if (sw != nullptr) sw->unregister_processor(dep.chain_id);
+    // Can the deployment limp along without its chain? Only if no module
+    // the client marked as required just died.
+    bool required_lost = false;
+    for (const std::string& module : dep.required_modules) {
+      if (std::find(dep.module_names.begin(), dep.module_names.end(),
+                    module) != dep.module_names.end()) {
+        required_lost = true;
+        break;
+      }
+    }
+    if (required_lost || dep.degraded) {
+      to_teardown.push_back(device_id);
+    } else {
+      // Graceful degradation: strip only the chain-divert rules so traffic
+      // flows past the dead chain; policies (drop/rate/mark) stay.
+      dep.degraded = true;
+      controller_->bypass_chain(dep.cookie, dep.chain_id);
+      ++degraded_;
+    }
+  }
+  for (const std::string& device_id : to_teardown) {
+    ++chains_lost_;
+    teardown_device(device_id);
+  }
+}
+
+void DeploymentServer::arm_sweep() {
+  if (cfg_.lease_duration <= 0 || sweep_timer_ != kInvalidEventId) return;
+  if (deployments_.empty()) return;
+  // Sweep granularity of lease/4 bounds how stale an expired deployment
+  // can linger at one quarter-lease.
+  sweep_timer_ = host_->sim().schedule_after(cfg_.lease_duration / 4, [this] {
+    sweep_timer_ = kInvalidEventId;
+    sweep();
+  });
+}
+
+void DeploymentServer::sweep() {
+  const SimTime now = host_->sim().now();
+  std::vector<std::string> expired;
+  for (const auto& [device_id, dep] : deployments_) {
+    if (dep.expires_at != 0 && now >= dep.expires_at) {
+      expired.push_back(device_id);
+    }
+  }
+  for (const std::string& device_id : expired) {
+    ++leases_expired_;
+    teardown_device(device_id);
+  }
+  arm_sweep();
 }
 
 }  // namespace pvn

@@ -4,6 +4,22 @@
 // requested modules, priced from the PVN Store), and on a deployment request
 // compiles the PVNC, instantiates the middlebox chain on the MboxHost,
 // programs the SdnSwitch through the Controller, and acknowledges.
+//
+// Resilience (§3.3):
+//   - Deployment requests are idempotent: a byte-identical retransmission of
+//     an already acked (device, seq) request re-sends the cached ack instead
+//     of deploying twice; retransmissions of one still in flight are simply
+//     dropped. A *different* request reusing a seq (a fresh client session)
+//     is a redeployment, not a duplicate.
+//   - With ServerConfig::lease_duration > 0 every deployment is a lease.
+//     Clients renew with kLeaseRenew; a periodic sweep tears down expired
+//     deployments and reclaims their middlebox memory, so a crashed client
+//     cannot strand 6 MB per instance forever.
+//   - When the MboxHost crashes, chains die with it. Deployments whose lost
+//     modules were all optional are degraded: the controller removes just
+//     the chain-divert rules so traffic bypasses the dead chain. If a
+//     required module is lost the deployment is torn down and the client
+//     learns via its next (refused) renewal.
 #pragma once
 
 #include <map>
@@ -27,6 +43,9 @@ struct ServerConfig {
   std::set<std::string> allowed_modules;
   double price_multiplier = 1.0;
   SimDuration offer_ttl = seconds(30);
+  // Deployments become leases when > 0: unrenewed deployments are reclaimed
+  // after this long. 0 (default) keeps the original deploy-forever behavior.
+  SimDuration lease_duration = 0;
   std::string switch_name;
   int switch_client_port = 0;
   int switch_wan_port = 1;
@@ -47,6 +66,12 @@ class DeploymentServer {
   std::uint64_t deployments_active() const { return deployments_.size(); }
   std::uint64_t deployments_total() const { return deploy_count_; }
   std::uint64_t nacks_sent() const { return nacks_; }
+  // Resilience telemetry.
+  std::uint64_t duplicate_deploys() const { return duplicates_; }
+  std::uint64_t leases_renewed() const { return renews_; }
+  std::uint64_t leases_expired() const { return leases_expired_; }
+  std::uint64_t degraded_deployments() const { return degraded_; }
+  std::uint64_t chains_lost() const { return chains_lost_; }
 
   // Test/experiment hook: makes the server a cheater that silently skips
   // instantiating the named module while still charging for it (§3.3
@@ -63,6 +88,15 @@ class DeploymentServer {
     std::string chain_id;
     std::vector<Middlebox*> instances;
     double paid = 0.0;
+    // Resilience bookkeeping.
+    std::uint32_t seq = 0;       // deploy request seq, for deduplication
+    Bytes request_bytes;         // encoded request; a duplicate must match it
+    Bytes ack_bytes;             // cached ack, re-sent on duplicate requests
+    SimTime expires_at = 0;      // 0 = no lease
+    int mbox_generation = 0;     // MboxHost::crashes() at instantiation
+    bool degraded = false;
+    std::vector<std::string> module_names;
+    std::vector<std::string> required_modules;  // from the client
   };
 
   void on_packet(Ipv4Addr src, Port sport, const Bytes& payload);
@@ -72,8 +106,18 @@ class DeploymentServer {
   void resolve_and_deploy(Ipv4Addr src, Port sport, DeployRequest req);
   void handle_deploy(Ipv4Addr src, Port sport, const DeployRequest& req);
   void handle_teardown(Ipv4Addr src, Port sport, const Teardown& td);
+  void handle_renew(Ipv4Addr src, Port sport, const LeaseRenew& renew);
   void nack(Ipv4Addr dst, Port dport, std::uint32_t seq,
             const std::string& reason);
+
+  // Removes a device's deployment: flow rules, chain processor, middlebox
+  // instances (unless the MboxHost crash already destroyed them).
+  void teardown_device(const std::string& device_id);
+  // Invoked synchronously from MboxHost::crash(): unregisters the now-dead
+  // chain processors, then degrades or tears down each affected deployment.
+  void on_mbox_crash();
+  void arm_sweep();
+  void sweep();
 
   Host* host_;
   PvnStore* store_;
@@ -82,10 +126,17 @@ class DeploymentServer {
   Ledger* ledger_;
   ServerConfig cfg_;
   std::map<std::string, Deployment> deployments_;  // by device id
+  std::map<std::string, Bytes> pending_;  // in-flight deploys, encoded request
   std::uint64_t discoveries_ = 0;
   std::uint64_t deploy_count_ = 0;
   std::uint64_t nacks_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t renews_ = 0;
+  std::uint64_t leases_expired_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t chains_lost_ = 0;
   std::uint64_t chain_seq_ = 0;
+  EventId sweep_timer_ = kInvalidEventId;
   std::string skip_module_;
   bool drop_deploys_ = false;
   std::unique_ptr<class HttpClient> http_;  // for pvnc:// URI resolution

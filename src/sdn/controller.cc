@@ -36,6 +36,31 @@ void Controller::remove_by_cookie(const std::string& cookie,
   });
 }
 
+void Controller::bypass_chain(const std::string& cookie,
+                              const std::string& chain_id,
+                              std::function<void(std::size_t)> done) {
+  sim_->schedule_after(control_rtt_, [this, cookie, chain_id,
+                                      done = std::move(done)] {
+    std::size_t removed = 0;
+    const auto diverts_into_chain = [&](const FlowRule& rule) {
+      if (rule.cookie != cookie) return false;
+      for (const Action& action : rule.actions) {
+        if (const auto* mbox = std::get_if<ActMbox>(&action)) {
+          if (mbox->chain_id == chain_id) return true;
+        }
+      }
+      return false;
+    };
+    for (auto& [name, sw] : switches_) {
+      for (int t = 0; t < sw->table_count(); ++t) {
+        removed += sw->table(t).remove_if(diverts_into_chain);
+      }
+      sw->unregister_processor(chain_id);
+    }
+    if (done) done(removed);
+  });
+}
+
 void Controller::add_meter(const std::string& switch_name,
                            const std::string& meter_id, Rate rate,
                            std::int64_t burst_bytes,

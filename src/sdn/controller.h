@@ -28,6 +28,13 @@ class Controller {
   void remove_by_cookie(const std::string& cookie,
                         std::function<void(std::size_t)> done = nullptr);
 
+  // Failure rewiring: removes only the rules of `cookie` that divert
+  // packets into a middlebox chain (ActMbox), so traffic for that device
+  // bypasses a crashed chain while its drop/rate/mark policies stay
+  // installed. Also unregisters the chain's processor on every switch.
+  void bypass_chain(const std::string& cookie, const std::string& chain_id,
+                    std::function<void(std::size_t)> done = nullptr);
+
   void add_meter(const std::string& switch_name, const std::string& meter_id,
                  Rate rate, std::int64_t burst_bytes,
                  std::function<void(bool)> done = nullptr);

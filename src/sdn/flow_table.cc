@@ -21,9 +21,15 @@ void FlowTable::add(FlowRule rule) {
 }
 
 std::size_t FlowTable::remove_by_cookie(const std::string& cookie) {
+  return remove_if(
+      [&cookie](const FlowRule& rule) { return rule.cookie == cookie; });
+}
+
+std::size_t FlowTable::remove_if(
+    const std::function<bool(const FlowRule&)>& pred) {
   std::size_t removed = 0;
   for (std::size_t i = rules_.size(); i-- > 0;) {
-    if (rules_[i].cookie == cookie) {
+    if (pred(rules_[i])) {
       rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(i));
       order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
       ++removed;

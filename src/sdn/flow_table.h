@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -29,6 +30,10 @@ class FlowTable {
 
   // Removes all rules with the given cookie; returns how many.
   std::size_t remove_by_cookie(const std::string& cookie);
+  // Removes all rules matching `pred`; returns how many. Used for partial
+  // rewiring (e.g. dropping only the middlebox-diversion rules of a cookie
+  // when its chain host crashed, leaving drop/rate policies installed).
+  std::size_t remove_if(const std::function<bool(const FlowRule&)>& pred);
   void clear() { rules_.clear(); }
 
   // Highest-priority matching rule, or nullptr (table miss). Updates the

@@ -124,11 +124,17 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
   scfg.switch_wan_port = 1;
   scfg.allowed_modules = cfg.allowed_modules;
   scfg.price_multiplier = cfg.price_multiplier;
+  scfg.lease_duration = cfg.lease_duration;
   server = std::make_unique<DeploymentServer>(*control, *store, *mbox_host,
                                               *controller, *ledger, scfg);
 
   dhcp = std::make_unique<DhcpServer>(*control, Ipv4Addr(10, 0, 0, 50), 100);
   dhcp->advertise_pvn(addrs.control, "openflow-lite,mbox-v1");
+
+  // --- resilience harness ---
+  faults = std::make_unique<FaultInjector>(net);
+  device_tunnel =
+      std::make_unique<DeviceTunnel>(*client, addrs.cloud_gw, tunnel_key());
 }
 
 Pvnc Testbed::standard_pvnc(const std::string& owner) const {

@@ -17,6 +17,7 @@
 #include "audit/measurements.h"
 #include "audit/reputation.h"
 #include "mbox/proxies.h"
+#include "netsim/faults.h"
 #include "netsim/router.h"
 #include "proto/dhcp.h"
 #include "proto/dns.h"
@@ -37,6 +38,8 @@ struct TestbedConfig {
   // Provider behaviour knobs.
   std::set<std::string> allowed_modules;  // empty = all
   double price_multiplier = 1.0;
+  // Deployment lease length handed to the server (0 = no leases).
+  SimDuration lease_duration = 0;
 
   TestbedConfig() {
     access.rate = Rate::mbps(50);
@@ -88,6 +91,13 @@ class Testbed {
   std::unique_ptr<DhcpServer> dhcp;
   std::unique_ptr<DnsServer> dns_server;
   std::unique_ptr<EspDecapProcessor> esp_decap_proc;
+
+  // --- resilience harness ---
+  // Deterministic fault injection over the testbed's links and nodes.
+  std::unique_ptr<FaultInjector> faults;
+  // Client-side VPN fallback toward the cloud gateway; created inactive.
+  // Hand it to a PvnClient via set_fallback for automatic failover.
+  std::unique_ptr<DeviceTunnel> device_tunnel;
 
   // --- content / security environment ---
   std::unique_ptr<CertificateAuthority> root_ca;

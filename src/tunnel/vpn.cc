@@ -33,6 +33,64 @@ void TunnelIngress::handle_packet(Packet pkt, int in_port) {
   send(0, std::move(pkt));
 }
 
+namespace {
+
+// Ports whose traffic must reach the local network directly even while the
+// fallback tunnel is active: PVN discovery/deploy (pvn/discovery.h kPvnPort;
+// duplicated here so tunnel/ stays below pvn/ in the layering) and DHCP.
+constexpr Port kControlPorts[] = {3030, 67, 68};
+
+bool is_control_port(Port p) {
+  for (const Port c : kControlPorts) {
+    if (p == c) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DeviceTunnel::DeviceTunnel(Host& host, Ipv4Addr gateway, Bytes key)
+    : host_(&host),
+      gateway_(gateway),
+      key_(std::move(key)),
+      selector_([](const Packet&) { return true; }) {
+  host_->set_esp_handler([this](const Packet& outer) -> std::optional<Packet> {
+    if (!active_ || outer.ip.src != gateway_) return std::nullopt;
+    auto inner = esp_decap(outer, key_);
+    if (!inner) {
+      ++auth_fail_;
+      return std::nullopt;
+    }
+    ++decap_;
+    return inner;
+  });
+  host_->set_outbound_transform([this](Packet pkt) {
+    if (!active_ || pkt.ip.proto == IpProto::kEsp || is_control(pkt) ||
+        !selector_(pkt)) {
+      if (active_) ++bypassed_;
+      return pkt;
+    }
+    ++tunneled_;
+    return esp_encap(pkt, host_->addr(), gateway_, key_, /*spi=*/1, ++seq_);
+  });
+}
+
+DeviceTunnel::~DeviceTunnel() {
+  host_->set_outbound_transform(nullptr);
+  host_->set_esp_handler(nullptr);
+}
+
+void DeviceTunnel::enable() { active_ = true; }
+
+void DeviceTunnel::disable() { active_ = false; }
+
+bool DeviceTunnel::is_control(const Packet& pkt) const {
+  if (pkt.ip.proto != IpProto::kUdp) return false;
+  Port sport = 0, dport = 0;
+  peek_ports(static_cast<std::uint8_t>(pkt.ip.proto), pkt.l4, sport, dport);
+  return is_control_port(sport) || is_control_port(dport);
+}
+
 VpnGateway::VpnGateway(Network& net, std::string name, Ipv4Addr addr,
                        Bytes key)
     : Node(net, std::move(name)), addr_(addr), key_(std::move(key)) {}

@@ -6,6 +6,9 @@
 //   VpnGateway — terminates tunnels in a remote/cloud network: decapsulates,
 //     source-NATs the inner packet so replies return to the gateway, and
 //     re-encapsulates replies back to the client.
+//   DeviceTunnel — a host-resident tunnel endpoint the PVN client enables as
+//     a fallback when the network's PVN fails (§3.3): hooks into Host's
+//     outbound/ESP paths instead of sitting on the wire.
 #pragma once
 
 #include <functional>
@@ -13,6 +16,7 @@
 
 #include "netsim/network.h"
 #include "netsim/node.h"
+#include "proto/host.h"
 #include "proto/l4.h"
 #include "sdn/switch.h"
 #include "tunnel/esp.h"
@@ -72,6 +76,48 @@ class EspDecapProcessor : public PacketProcessor {
  private:
   Bytes key_;
   std::uint64_t auth_failures_ = 0;
+};
+
+// Host-resident fallback tunnel. Installed once on a Host; while active,
+// outbound packets matching the selector are ESP-encapsulated toward a
+// VpnGateway and returning ESP is decapsulated back into the receive path.
+// Control traffic (PVN discovery/deploy on kPvnPort, DHCP) always bypasses
+// the tunnel so the client can renegotiate with the local network while the
+// fallback carries data traffic.
+class DeviceTunnel {
+ public:
+  DeviceTunnel(Host& host, Ipv4Addr gateway, Bytes key);
+  ~DeviceTunnel();
+
+  DeviceTunnel(const DeviceTunnel&) = delete;
+  DeviceTunnel& operator=(const DeviceTunnel&) = delete;
+
+  void enable();
+  void disable();
+  bool active() const { return active_; }
+
+  // Restricts which packets get tunneled while active (selective
+  // redirection); control-port traffic bypasses regardless.
+  void set_selector(TunnelSelector selector) { selector_ = std::move(selector); }
+
+  std::uint64_t tunneled() const { return tunneled_; }
+  std::uint64_t bypassed() const { return bypassed_; }
+  std::uint64_t decapsulated() const { return decap_; }
+  std::uint64_t auth_failures() const { return auth_fail_; }
+
+ private:
+  bool is_control(const Packet& pkt) const;
+
+  Host* host_;
+  Ipv4Addr gateway_;
+  Bytes key_;
+  bool active_ = false;
+  std::uint32_t seq_ = 0;
+  TunnelSelector selector_;
+  std::uint64_t tunneled_ = 0;
+  std::uint64_t bypassed_ = 0;
+  std::uint64_t decap_ = 0;
+  std::uint64_t auth_fail_ = 0;
 };
 
 class VpnGateway : public Node {

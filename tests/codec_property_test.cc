@@ -4,6 +4,8 @@
 // cleanly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "proto/dhcp.h"
 #include "proto/dns.h"
 #include "proto/tls.h"
@@ -153,12 +155,150 @@ TEST_P(DiscoveryProperty, RandomBytesNeverCrashDecoders) {
     (void)DeployRequest::decode(junk);
     (void)DeployAck::decode(junk);
     (void)DeployNack::decode(junk);
+    (void)LeaseRenew::decode(junk);
+    (void)LeaseAck::decode(junk);
     (void)DnsMessage::decode(junk);
     (void)DhcpMessage::decode(junk);
     (void)decode_chain(junk);
     (void)Pvnc::decode(junk);
   }
   SUCCEED();
+}
+
+TEST_P(DiscoveryProperty, MutatedValidEncodingsNeverCrashDecoders) {
+  // Fuzz-style: start from valid wrapped encodings of every discovery
+  // message type, apply random byte flips / truncations / extensions, and
+  // push the result through unwrap + the matching decoder. Decoders must
+  // fail cleanly (nullopt) or return a well-formed value; they must never
+  // crash, over-read, or spin on corrupted length/count fields.
+  Rng rng(GetParam() + 1000);
+
+  DiscoveryMessage dm;
+  dm.seq = 7;
+  dm.device_id = "alice-phone";
+  dm.standards = {"openflow-lite", "mbox-v1"};
+  dm.modules = {"pii-detector", "tls-validator", "tracker-blocker"};
+  dm.est_memory_bytes = 18 * 1024 * 1024;
+
+  Offer offer;
+  offer.seq = 7;
+  offer.deployment_server = Ipv4Addr(10, 0, 0, 5);
+  offer.standards = dm.standards;
+  offer.offered_modules = dm.modules;
+  offer.total_price = 3.25;
+  offer.expires_at = seconds(30);
+
+  DeployRequest req;
+  req.seq = 7;
+  req.device_id = dm.device_id;
+  req.pvnc.name = "alice-phone";
+  req.pvnc.chain.push_back(PvncModule{"pii-detector", {{"action", "block"}}});
+  req.payment = 3.25;
+  req.required_modules = {"pii-detector"};
+
+  DeployAck ack;
+  ack.seq = 7;
+  ack.chain_id = "chain:alice-phone:0";
+  ack.lease_duration = seconds(10);
+
+  DeployNack nack;
+  nack.seq = 7;
+  nack.reason = "out of middlebox memory";
+
+  LeaseRenew renew;
+  renew.seq = 9;
+  renew.device_id = dm.device_id;
+  renew.chain_id = ack.chain_id;
+
+  LeaseAck lack;
+  lack.seq = 9;
+  lack.ok = true;
+  lack.lease_duration = seconds(10);
+  lack.degraded_modules = {"tracker-blocker"};
+
+  const std::vector<Bytes> corpus = {
+      wrap(PvnMsgType::kDiscovery, dm.encode()),
+      wrap(PvnMsgType::kOffer, offer.encode()),
+      wrap(PvnMsgType::kDeployRequest, req.encode()),
+      wrap(PvnMsgType::kDeployAck, ack.encode()),
+      wrap(PvnMsgType::kDeployNack, nack.encode()),
+      wrap(PvnMsgType::kLeaseRenew, renew.encode()),
+      wrap(PvnMsgType::kLeaseAck, lack.encode()),
+  };
+
+  const auto decode_as = [](PvnMsgType type, const Bytes& body) {
+    switch (type) {
+      case PvnMsgType::kDiscovery: (void)DiscoveryMessage::decode(body); break;
+      case PvnMsgType::kOffer: (void)Offer::decode(body); break;
+      case PvnMsgType::kDeployRequest: (void)DeployRequest::decode(body); break;
+      case PvnMsgType::kDeployAck: (void)DeployAck::decode(body); break;
+      case PvnMsgType::kDeployNack: (void)DeployNack::decode(body); break;
+      case PvnMsgType::kTeardown: (void)Teardown::decode(body); break;
+      case PvnMsgType::kLeaseRenew: (void)LeaseRenew::decode(body); break;
+      case PvnMsgType::kLeaseAck: (void)LeaseAck::decode(body); break;
+      default: break;
+    }
+  };
+
+  for (int i = 0; i < 2000; ++i) {
+    Bytes mutant = corpus[rng.next_below(corpus.size())];
+    const std::uint64_t op = rng.next_below(4);
+    if (op == 0 && !mutant.empty()) {
+      // Flip 1-8 random bytes.
+      const std::uint64_t flips = 1 + rng.next_below(8);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        mutant[rng.next_below(mutant.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+    } else if (op == 1 && !mutant.empty()) {
+      mutant.resize(rng.next_below(mutant.size()));  // truncate
+    } else if (op == 2) {
+      Bytes extra(rng.next_below(64));
+      for (auto& b : extra) b = static_cast<std::uint8_t>(rng.next_u64());
+      mutant.insert(mutant.end(), extra.begin(), extra.end());  // extend
+    } else if (!mutant.empty()) {
+      // Overwrite a random run with 0xFF — maximizes length/count fields.
+      const std::size_t at = rng.next_below(mutant.size());
+      const std::size_t run = std::min<std::size_t>(
+          mutant.size() - at, 1 + rng.next_below(8));
+      for (std::size_t k = 0; k < run; ++k) mutant[at + k] = 0xFF;
+    }
+    if (const auto unwrapped = unwrap(mutant)) {
+      decode_as(unwrapped->first, unwrapped->second);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(DiscoveryProperty, LeaseMessagesRoundTrip) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 50; ++i) {
+    LeaseRenew renew;
+    renew.seq = static_cast<std::uint32_t>(rng.next_u64());
+    renew.device_id = random_name(rng);
+    renew.chain_id = "chain:" + random_name(rng);
+    const auto renew2 = LeaseRenew::decode(renew.encode());
+    ASSERT_TRUE(renew2.has_value());
+    EXPECT_EQ(renew2->seq, renew.seq);
+    EXPECT_EQ(renew2->device_id, renew.device_id);
+    EXPECT_EQ(renew2->chain_id, renew.chain_id);
+
+    LeaseAck ack;
+    ack.seq = renew.seq;
+    ack.ok = rng.bernoulli(0.5);
+    ack.lease_duration = static_cast<SimDuration>(rng.next_below(kSecond * 60));
+    for (std::uint64_t m = 0; m < rng.next_below(4); ++m) {
+      ack.degraded_modules.push_back(random_name(rng));
+    }
+    ack.reason = ack.ok ? "" : random_name(rng);
+    const auto ack2 = LeaseAck::decode(ack.encode());
+    ASSERT_TRUE(ack2.has_value());
+    EXPECT_EQ(ack2->seq, ack.seq);
+    EXPECT_EQ(ack2->ok, ack.ok);
+    EXPECT_EQ(ack2->lease_duration, ack.lease_duration);
+    EXPECT_EQ(ack2->degraded_modules, ack.degraded_modules);
+    EXPECT_EQ(ack2->reason, ack.reason);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryProperty,

@@ -260,6 +260,27 @@ TEST(Negotiation, ExpiredOfferRejected) {
   EXPECT_EQ(r.action, NegotiationAction::kReject);
 }
 
+TEST(Negotiation, ExpiredOfferSkippedByPickBestOffer) {
+  const Constraints c;
+  // The expired offer is better on every axis; it must still lose.
+  std::vector<Offer> offers = {make_offer({"a", "b"}, 0.1, seconds(1)),
+                               make_offer({"a"}, 5.0, seconds(60))};
+  EXPECT_EQ(pick_best_offer(offers, {"a", "b"}, c, seconds(2)), 1);
+}
+
+TEST(Negotiation, AllOffersExpiredPicksNone) {
+  const Constraints c;
+  std::vector<Offer> offers = {make_offer({"a"}, 0.1, seconds(1)),
+                               make_offer({"a"}, 0.2, seconds(3))};
+  EXPECT_EQ(pick_best_offer(offers, {"a"}, c, seconds(4)), -1);
+}
+
+TEST(Negotiation, OfferWithNoExpiryNeverExpires) {
+  const Constraints c;
+  std::vector<Offer> offers = {make_offer({"a"}, 0.5, 0)};
+  EXPECT_EQ(pick_best_offer(offers, {"a"}, c, seconds(1000000)), 0);
+}
+
 TEST(Negotiation, SoftUtilityRanksOffers) {
   Constraints c;
   c.module_utility = {{"a", 5.0}, {"b", 1.0}};

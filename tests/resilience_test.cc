@@ -1,0 +1,405 @@
+// Fault injection and control-plane resilience: the netsim fault injector,
+// discovery/deploy retransmission over lossy links, idempotent deployment,
+// deployment leases (renewal, expiry, memory reclamation), and failover to
+// the device VPN tunnel when the PVN dies mid-session (§3.3).
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "netsim/faults.h"
+#include "proto/http.h"
+#include "testbed/testbed.h"
+
+namespace pvn {
+namespace {
+
+using testing::DumbbellTopo;
+
+// --- Fault injector ---------------------------------------------------------------
+
+TEST(FaultInjector, LinkFlapDropsTrafficWhileDown) {
+  DumbbellTopo topo;
+  int received = 0;
+  topo.server->bind_udp(7000, [&](Ipv4Addr, Port, Port, const Bytes&) {
+    ++received;
+  });
+  FaultInjector faults(topo.net);
+  faults.link_flap(*topo.access, seconds(2), seconds(3));  // down [2s, 5s)
+
+  // One datagram per second for 10 s; those in the down window vanish.
+  for (int i = 0; i < 10; ++i) {
+    topo.net.sim().schedule_at(seconds(i) + milliseconds(500), [&] {
+      topo.client->send_udp(topo.server->addr(), 7000, 7000, to_bytes("ping"));
+    });
+  }
+  topo.net.sim().run();
+  EXPECT_EQ(received, 7);  // sends at 2.5s, 3.5s, 4.5s lost
+  ASSERT_EQ(faults.events().size(), 2u);
+  EXPECT_EQ(faults.events()[0].kind, "link-down");
+  EXPECT_EQ(faults.events()[0].at, seconds(2));
+  EXPECT_EQ(faults.events()[1].kind, "link-up");
+  EXPECT_EQ(faults.events()[1].at, seconds(5));
+}
+
+TEST(FaultInjector, NodeCrashDiscardsSendsAndDeliveries) {
+  DumbbellTopo topo;
+  int received = 0;
+  topo.server->bind_udp(7000, [&](Ipv4Addr, Port, Port, const Bytes&) {
+    ++received;
+  });
+  FaultInjector faults(topo.net);
+  faults.node_crash(*topo.server, seconds(2), seconds(2));  // down [2s, 4s)
+  for (int i = 0; i < 6; ++i) {
+    topo.net.sim().schedule_at(seconds(i) + milliseconds(500), [&] {
+      topo.client->send_udp(topo.server->addr(), 7000, 7000, to_bytes("ping"));
+    });
+  }
+  topo.net.sim().run();
+  EXPECT_EQ(received, 4);  // sends at 2.5s, 3.5s arrive at a dead node
+  EXPECT_GT(topo.server->dropped_while_down(), 0u);
+}
+
+TEST(FaultInjector, LossBurstRestoresThePreviousLossRate) {
+  LinkParams lossy;
+  lossy.loss = 0.05;
+  DumbbellTopo topo(lossy);
+  FaultInjector faults(topo.net);
+  faults.loss_burst(*topo.access, seconds(1), seconds(1), 1.0);
+
+  int received = 0;
+  topo.server->bind_udp(7000, [&](Ipv4Addr, Port, Port, const Bytes&) {
+    ++received;
+  });
+  // Inside the burst nothing gets through.
+  for (int i = 0; i < 20; ++i) {
+    topo.net.sim().schedule_at(seconds(1) + milliseconds(10 * i + 5), [&] {
+      topo.client->send_udp(topo.server->addr(), 7000, 7000, to_bytes("x"));
+    });
+  }
+  topo.net.sim().run_until(seconds(2));
+  EXPECT_EQ(received, 0);
+  // After the burst the link is back to its configured 5% loss.
+  for (int i = 0; i < 100; ++i) {
+    topo.net.sim().schedule_at(seconds(3) + milliseconds(10 * i), [&] {
+      topo.client->send_udp(topo.server->addr(), 7000, 7000, to_bytes("x"));
+    });
+  }
+  topo.net.sim().run();
+  EXPECT_GT(received, 50);
+}
+
+TEST(FaultInjector, RandomFlapsAreDeterministicPerSeed) {
+  std::vector<std::vector<FaultEvent>> timelines;
+  for (int run = 0; run < 2; ++run) {
+    DumbbellTopo topo({}, {}, /*seed=*/42);
+    FaultInjector faults(topo.net);
+    faults.random_flaps(*topo.access, seconds(1), seconds(60), seconds(5),
+                        seconds(1));
+    topo.net.sim().run();
+    timelines.push_back(faults.events());
+  }
+  ASSERT_EQ(timelines[0].size(), timelines[1].size());
+  EXPECT_GT(timelines[0].size(), 2u);
+  for (std::size_t i = 0; i < timelines[0].size(); ++i) {
+    EXPECT_EQ(timelines[0][i].at, timelines[1][i].at);
+    EXPECT_EQ(timelines[0][i].kind, timelines[1][i].kind);
+  }
+}
+
+TEST(FaultInjector, PartitionTakesAllListedLinksDown) {
+  DumbbellTopo topo;
+  FaultInjector faults(topo.net);
+  faults.partition({topo.access, topo.core}, seconds(1), seconds(2));
+  topo.net.sim().run_until(seconds(2));
+  EXPECT_FALSE(topo.access->is_up());
+  EXPECT_FALSE(topo.core->is_up());
+  topo.net.sim().run();
+  EXPECT_TRUE(topo.access->is_up());
+  EXPECT_TRUE(topo.core->is_up());
+}
+
+// --- Acceptance (a): retransmission beats a lossy control channel -------------------
+
+TEST(Resilience, DeploySucceedsOver30PercentLossViaRetransmission) {
+  TestbedConfig cfg;
+  cfg.access.loss = 0.30;
+  cfg.seed = 7;
+  Testbed tb(cfg);
+  ClientConfig ccfg;
+  ccfg.retry.max_discovery_rounds = 8;
+  ccfg.retry.max_deploy_attempts = 8;
+  ccfg.deploy_timeout = seconds(20);
+  const DeployOutcome out = tb.deploy(tb.standard_pvnc(), ccfg);
+  ASSERT_TRUE(out.ok) << out.failure;
+  EXPECT_EQ(tb.server->deployments_active(), 1u);
+  // The win must come from retrying, not luck: across several seeds at 30%
+  // loss at least one deployment needs more than one round or attempt.
+  int retries_used = out.discovery_rounds - 1 + out.deploy_attempts - 1;
+  for (std::uint64_t seed = 8; seed <= 12; ++seed) {
+    TestbedConfig c2 = cfg;
+    c2.seed = seed;
+    Testbed tb2(c2);
+    const DeployOutcome o2 = tb2.deploy(tb2.standard_pvnc(), ccfg);
+    EXPECT_TRUE(o2.ok) << "seed " << seed << ": " << o2.failure;
+    retries_used += o2.discovery_rounds - 1 + o2.deploy_attempts - 1;
+  }
+  EXPECT_GT(retries_used, 0);
+}
+
+TEST(Resilience, HappyPathSendsNoRetransmissions) {
+  Testbed tb;
+  const DeployOutcome out = tb.deploy(tb.standard_pvnc());
+  ASSERT_TRUE(out.ok) << out.failure;
+  EXPECT_EQ(out.discovery_rounds, 1);
+  EXPECT_EQ(out.deploy_attempts, 1);
+}
+
+// --- Idempotent deployment ----------------------------------------------------------
+
+TEST(Resilience, DuplicateDeployRequestsDeployOnceAndReack) {
+  Testbed tb;
+  DeployRequest req;
+  req.seq = 42;
+  req.device_id = "alice-phone";
+  req.pvnc = tb.standard_pvnc();
+  req.payment = tb.store->price_of(req.pvnc.module_names());
+  const Bytes wire = wrap(PvnMsgType::kDeployRequest, req.encode());
+
+  int acks = 0;
+  tb.client->bind_udp(4000, [&](Ipv4Addr, Port, Port, const Bytes& payload) {
+    const auto msg = unwrap(payload);
+    if (msg && msg->first == PvnMsgType::kDeployAck) ++acks;
+  });
+  // Two copies in flight at once: the second must not deploy a second chain.
+  tb.client->send_udp(tb.addrs.control, 4000, kPvnPort, wire);
+  tb.client->send_udp(tb.addrs.control, 4000, kPvnPort, wire);
+  tb.net.sim().run();
+  EXPECT_EQ(tb.server->deployments_total(), 1u);
+  EXPECT_EQ(acks, 1);
+  EXPECT_EQ(tb.server->duplicate_deploys(), 1u);
+
+  // A late retransmission (the ack could have been lost) gets the cached
+  // ack back instead of a fresh deployment.
+  tb.client->send_udp(tb.addrs.control, 4000, kPvnPort, wire);
+  tb.net.sim().run();
+  EXPECT_EQ(tb.server->deployments_total(), 1u);
+  EXPECT_EQ(acks, 2);
+  EXPECT_EQ(tb.server->duplicate_deploys(), 2u);
+}
+
+// --- Offer expiry between collection and deployment ---------------------------------
+
+TEST(Resilience, OfferExpiringBeforeRetransmitRestartsDiscovery) {
+  Testbed tb;
+  // Offers outlive the collection window but not the deploy retransmission
+  // timeout; the server goes silent on deploys, so every retransmission
+  // finds its offer expired and must restart discovery instead.
+  tb.server.reset();
+  ServerConfig scfg;
+  scfg.switch_name = Testbed::kSwitchName;
+  scfg.offer_ttl = milliseconds(600);
+  auto server = std::make_unique<DeploymentServer>(
+      *tb.control, *tb.store, *tb.mbox_host, *tb.controller, *tb.ledger, scfg);
+  server->drop_deploy_requests(true);
+
+  ClientConfig ccfg;
+  ccfg.retry.max_discovery_rounds = 2;
+  ccfg.retry.deploy_rto = milliseconds(400);
+  const DeployOutcome out = tb.deploy(tb.standard_pvnc(), ccfg);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.failure, "offer expired before deployment");
+  // The expiry triggered a fresh discovery round (new offer), not a blind
+  // retransmission against the stale one.
+  EXPECT_EQ(out.discovery_rounds, 2);
+}
+
+// --- Leases -------------------------------------------------------------------------
+
+TEST(Resilience, DeployAckCarriesTheLease) {
+  TestbedConfig cfg;
+  cfg.lease_duration = seconds(5);
+  Testbed tb(cfg);
+  const DeployOutcome out = tb.deploy(tb.standard_pvnc());
+  ASSERT_TRUE(out.ok) << out.failure;
+  EXPECT_EQ(out.lease_duration, seconds(5));
+}
+
+// Acceptance (c): a client that crashes (never renews) has its lease
+// expired and the middlebox memory returns to the pre-deploy value.
+TEST(Resilience, CrashedClientLeaseExpiresAndMemoryIsReclaimed) {
+  TestbedConfig cfg;
+  cfg.lease_duration = seconds(2);
+  Testbed tb(cfg);
+  const std::int64_t memory_before = tb.mbox_host->memory_in_use();
+
+  PvnClient agent(*tb.client, tb.standard_pvnc());
+  DeployOutcome out;
+  agent.discover_and_deploy(tb.addrs.control, [&](const DeployOutcome& o) {
+    out = o;
+  });
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_TRUE(out.ok) << out.failure;
+  EXPECT_EQ(tb.server->deployments_active(), 1u);
+  EXPECT_GT(tb.mbox_host->memory_in_use(), memory_before);
+
+  // The client never renews (a one-shot agent models a crashed device).
+  tb.net.sim().run_until(seconds(8));
+  EXPECT_EQ(tb.server->leases_expired(), 1u);
+  EXPECT_EQ(tb.server->deployments_active(), 0u);
+  EXPECT_EQ(tb.mbox_host->memory_in_use(), memory_before);
+}
+
+TEST(Resilience, RenewingSessionKeepsTheLeaseAlive) {
+  TestbedConfig cfg;
+  cfg.lease_duration = seconds(1);
+  Testbed tb(cfg);
+  PvnClient agent(*tb.client, tb.standard_pvnc());
+  agent.start_session(tb.addrs.control);
+  tb.net.sim().run_until(seconds(6));
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_EQ(tb.server->deployments_active(), 1u);
+  EXPECT_EQ(tb.server->leases_expired(), 0u);
+  EXPECT_GE(agent.renews_acked(), 3u);
+  agent.stop_session();
+  // With the session stopped the lease runs out and the server reclaims.
+  tb.net.sim().run_until(seconds(12));
+  EXPECT_EQ(tb.server->deployments_active(), 0u);
+  EXPECT_EQ(tb.server->leases_expired(), 1u);
+}
+
+// --- Acceptance (b): MboxHost crash -> tunnel failover -> recovery ------------------
+
+TEST(Resilience, MboxCrashFailsOverToTunnelAndRecoversOnRestart) {
+  TestbedConfig cfg;
+  cfg.lease_duration = seconds(2);
+  Testbed tb(cfg);
+
+  ClientConfig ccfg;
+  // tls-validator is a hard constraint: losing it cannot be degraded
+  // around, so the crash forces a full failover.
+  ccfg.constraints.required_modules = {"tls-validator"};
+  ccfg.session.fallback_retry = seconds(1);
+  PvnClient agent(*tb.client, tb.standard_pvnc(), ccfg);
+  agent.set_fallback(tb.device_tunnel.get());
+  agent.start_session(tb.addrs.control);
+
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_FALSE(tb.device_tunnel->active());
+
+  // Mid-session middlebox host crash.
+  const SimTime crash_at = seconds(2);
+  tb.net.sim().schedule_at(crash_at, [&] { tb.mbox_host->crash(); });
+  // Within one lease period the client must have noticed (refused or
+  // missed renewal) and switched to the VPN tunnel.
+  tb.net.sim().run_until(crash_at + cfg.lease_duration);
+  EXPECT_EQ(agent.state(), SessionState::kFallback);
+  EXPECT_TRUE(tb.device_tunnel->active());
+  EXPECT_EQ(agent.failovers(), 1u);
+  EXPECT_EQ(tb.server->chains_lost(), 1u);
+
+  // Traffic still flows — through the cloud gateway.
+  HttpClient http(*tb.client);
+  bool fetched = false;
+  http.fetch(tb.addrs.web, 80, "/bytes/20000",
+             [&](const HttpResponse&, const FetchTiming& t) { fetched = t.ok; });
+  tb.net.sim().run_until(seconds(8));
+  EXPECT_TRUE(fetched);
+  EXPECT_GT(tb.device_tunnel->tunneled(), 0u);
+  EXPECT_GT(tb.cloud_gw->decapsulated(), 0u);
+
+  // The middlebox host comes back; the session rediscovers and returns to
+  // the PVN path, dropping the tunnel.
+  tb.net.sim().schedule_at(seconds(8), [&] { tb.mbox_host->restart(); });
+  tb.net.sim().run_until(seconds(20));
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_FALSE(tb.device_tunnel->active());
+  EXPECT_EQ(agent.recoveries(), 1u);
+  EXPECT_EQ(tb.server->deployments_active(), 1u);
+
+  // And the new chain actually processes traffic again.
+  bool fetched2 = false;
+  http.fetch(tb.addrs.web, 80, "/bytes/20000",
+             [&](const HttpResponse&, const FetchTiming& t) { fetched2 = t.ok; });
+  tb.net.sim().run_until(seconds(30));
+  EXPECT_TRUE(fetched2);
+  Chain* chain = tb.mbox_host->chain(agent.chain_id());
+  ASSERT_NE(chain, nullptr);
+  EXPECT_GT(chain->packets(), 0u);
+}
+
+// --- Graceful degradation: optional modules bypass a dead chain ---------------------
+
+TEST(Resilience, OptionalOnlyDeploymentDegradesInsteadOfTearingDown) {
+  TestbedConfig cfg;
+  cfg.lease_duration = seconds(2);
+  Testbed tb(cfg);
+
+  ClientConfig ccfg;  // no required modules: everything is optional
+  PvnClient agent(*tb.client, tb.standard_pvnc(), ccfg);
+  agent.set_fallback(tb.device_tunnel.get());
+  agent.start_session(tb.addrs.control);
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+
+  tb.net.sim().schedule_at(seconds(2), [&] { tb.mbox_host->crash(); });
+  tb.net.sim().run_until(seconds(6));
+  // The deployment survives in degraded mode: no failover, chain-divert
+  // rules removed, lease renewals still succeed and report the loss.
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_FALSE(tb.device_tunnel->active());
+  EXPECT_EQ(agent.failovers(), 0u);
+  EXPECT_EQ(tb.server->degraded_deployments(), 1u);
+  EXPECT_EQ(tb.server->deployments_active(), 1u);
+  EXPECT_FALSE(agent.degraded_modules().empty());
+
+  // Traffic flows past the dead chain (no divert rules remain).
+  HttpClient http(*tb.client);
+  bool fetched = false;
+  http.fetch(tb.addrs.web, 80, "/bytes/20000",
+             [&](const HttpResponse&, const FetchTiming& t) { fetched = t.ok; });
+  tb.net.sim().run_until(seconds(12));
+  EXPECT_TRUE(fetched);
+  for (const FlowRule& rule : tb.access_sw->table(0).rules()) {
+    for (const Action& action : rule.actions) {
+      if (const auto* mbox = std::get_if<ActMbox>(&action)) {
+        EXPECT_EQ(mbox->chain_id, "esp-decap");  // only the infra rule
+      }
+    }
+  }
+}
+
+// --- Stale-server detection via lease refusal ---------------------------------------
+
+TEST(Resilience, ServerRestartRefusesUnknownLeaseAndClientFailsOver) {
+  TestbedConfig cfg;
+  cfg.lease_duration = seconds(2);
+  Testbed tb(cfg);
+  PvnClient agent(*tb.client, tb.standard_pvnc());
+  agent.set_fallback(tb.device_tunnel.get());
+  agent.start_session(tb.addrs.control);
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+
+  // The access network's server loses all state (process restart). Destroy
+  // the old instance first: its destructor unbinds the PVN port and a
+  // replacement must bind after that, not before.
+  tb.net.sim().schedule_at(seconds(2), [&] {
+    tb.server.reset();
+    ServerConfig scfg;
+    scfg.switch_name = Testbed::kSwitchName;
+    scfg.lease_duration = cfg.lease_duration;
+    tb.server = std::make_unique<DeploymentServer>(
+        *tb.control, *tb.store, *tb.mbox_host, *tb.controller, *tb.ledger,
+        scfg);
+  });
+  // Next renewal is refused ("no such deployment") -> failover -> the
+  // fallback rediscovery redeploys against the fresh server.
+  tb.net.sim().run_until(seconds(20));
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_GE(agent.failovers(), 1u);
+  EXPECT_GE(agent.recoveries(), 1u);
+  EXPECT_EQ(tb.server->deployments_active(), 1u);
+}
+
+}  // namespace
+}  // namespace pvn
