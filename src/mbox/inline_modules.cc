@@ -219,18 +219,28 @@ Middlebox::Verdict PiiDetector::process(Packet& pkt, MboxContext& ctx) {
   bool found_any = false;
   for (const std::string& pattern : patterns_) {
     const Bytes needle = to_bytes(pattern);
-    auto it = std::search(pkt.l4.begin() + static_cast<std::ptrdiff_t>(header),
-                          pkt.l4.end(), needle.begin(), needle.end());
-    while (it != pkt.l4.end()) {
+    // Track positions by offset: scrubbing detaches the CoW payload, which
+    // invalidates iterators into the previous buffer.
+    std::size_t pos = header;
+    while (true) {
+      const Bytes& view = pkt.l4;
+      const auto it =
+          std::search(view.begin() + static_cast<std::ptrdiff_t>(pos),
+                      view.end(), needle.begin(), needle.end());
+      if (it == view.end()) break;
+      pos = static_cast<std::size_t>(it - view.begin());
       found_any = true;
       ++leaks_;
       ctx.report(name_, "pii-leak",
                  "pattern=" + pattern + " dst=" + pkt.ip.dst.to_string());
       if (action_ == PiiAction::kScrub) {
-        std::fill(it, it + static_cast<std::ptrdiff_t>(needle.size()),
+        Bytes& mut = pkt.l4.mutate();
+        std::fill(mut.begin() + static_cast<std::ptrdiff_t>(pos),
+                  mut.begin() + static_cast<std::ptrdiff_t>(pos +
+                                                            needle.size()),
                   std::uint8_t('x'));
       }
-      it = std::search(it + 1, pkt.l4.end(), needle.begin(), needle.end());
+      ++pos;
     }
   }
   if (found_any && action_ == PiiAction::kBlock) return Verdict::kDrop;

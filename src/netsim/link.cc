@@ -83,8 +83,7 @@ void Link::start_transmit(Direction& dir, Packet pkt) {
     // Queue occupancy drops once the packet has fully serialized.
     sim.schedule_at(dir.busy_until, [dptr, sz] { dptr->queued_bytes -= sz; });
   }
-  sim.schedule_at(arrive, [this, dptr, pkt = std::move(pkt), lost,
-                           from]() mutable {
+  auto deliver = [this, dptr, pkt = std::move(pkt), lost, from]() mutable {
     if (lost) return;
     if (!dptr->to->is_up()) {
       ++dptr->stats.down_drops;
@@ -94,7 +93,11 @@ void Link::start_transmit(Direction& dir, Packet pkt) {
     ++dptr->stats.delivered_packets;
     if (tap_) tap_(pkt, *from, *dptr->to);
     dptr->to->handle_packet(std::move(pkt), dptr->to_port);
-  });
+  };
+  // The per-hop delivery callback is the hottest event in the simulator; it
+  // must fit EventFn's inline buffer so delivery never heap-allocates.
+  static_assert(sizeof(deliver) <= EventFn::kInlineSize);
+  sim.schedule_at(arrive, std::move(deliver));
 }
 
 }  // namespace pvn

@@ -1,0 +1,45 @@
+// Per-Network string interning for hot-path instrumentation.
+//
+// Node names appear in every packet's hop trace; interning them to dense
+// 32-bit ids keeps the per-hop cost at one integer push_back instead of a
+// std::string construction. Strings are materialized only when tests or
+// auditor tooling ask (HopTrace::strings()).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace pvn {
+
+class NameTable {
+ public:
+  // Returns the id for `name`, interning it on first sight. Ids are dense,
+  // starting at 0, and stable for the table's lifetime.
+  std::uint32_t intern(std::string_view name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  const std::string& name_of(std::uint32_t id) const {
+    assert(id < names_.size());
+    return names_[id];
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t, StringHash, StringEq> ids_;
+};
+
+}  // namespace pvn

@@ -11,11 +11,12 @@ void Network::register_node(std::unique_ptr<Node> node) {
   if (!inserted) {
     throw std::invalid_argument("duplicate node name: " + node->name());
   }
+  node->name_id_ = names_.intern(node->name());
   nodes_.push_back(std::move(node));
 }
 
 Node* Network::find_node(std::string_view name) {
-  const auto it = by_name_.find(std::string(name));
+  const auto it = by_name_.find(name);
   return it == by_name_.end() ? nullptr : it->second;
 }
 

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "netsim/link.h"
+#include "netsim/names.h"
 #include "netsim/node.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/sim.h"
 
@@ -20,6 +22,10 @@ class Network {
 
   Simulator& sim() { return sim_; }
   Rng& rng() { return rng_; }
+
+  // Interned node names (hop traces store ids against this table).
+  NameTable& names() { return names_; }
+  const NameTable& names() const { return names_; }
 
   // Constructs a node of type T (which must take (Network&, ...) ) and takes
   // ownership. Node names must be unique.
@@ -48,8 +54,10 @@ class Network {
 
   Simulator sim_;
   Rng rng_;
+  NameTable names_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<std::string, Node*> by_name_;
+  // Transparent hash/equal: find_node(string_view) never allocates.
+  std::unordered_map<std::string, Node*, StringHash, StringEq> by_name_;
   std::vector<std::unique_ptr<Link>> links_;
   std::uint64_t next_packet_id_ = 1;
 };

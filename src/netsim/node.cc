@@ -25,7 +25,7 @@ void Node::send(int port, Packet pkt) {
     ++unwired_drops_;
     return;
   }
-  pkt.hop_trace.push_back(name_);
+  pkt.hop_trace.record(net_->names(), name_id_);
   link->transmit(*this, std::move(pkt));
 }
 

@@ -28,6 +28,8 @@ class Node {
   virtual void handle_packet(Packet pkt, int in_port) = 0;
 
   const std::string& name() const { return name_; }
+  // Interned id of name() in network().names(); assigned at registration.
+  std::uint32_t name_id() const { return name_id_; }
   Network& network() { return *net_; }
   Simulator& sim();
 
@@ -58,6 +60,7 @@ class Node {
 
   Network* net_;
   std::string name_;
+  std::uint32_t name_id_ = 0;
   std::vector<Link*> ports_;
   bool up_ = true;
   std::uint64_t unwired_drops_ = 0;

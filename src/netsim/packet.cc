@@ -35,6 +35,13 @@ IpHeader IpHeader::decode(ByteReader& r) {
   return h;
 }
 
+std::vector<std::string> HopTrace::strings() const {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (const std::uint32_t id : ids) out.push_back(names->name_of(id));
+  return out;
+}
+
 std::uint64_t Packet::flow_hash() const {
   ByteWriter w;
   w.u32(ip.src.v);

@@ -2,10 +2,13 @@
 //
 // A Packet carries an IPv4-lite header plus an opaque serialized L4 payload
 // (TCP segment, UDP datagram, or ESP tunnel frame — see src/proto and
-// src/tunnel for the codecs). Simulation-only instrumentation (creation time,
-// traversed-node trace) rides along out-of-band; it is *not* visible to
-// protocol logic and exists so tests and the auditor benches can compare
-// detector output against ground truth.
+// src/tunnel for the codecs). The payload is a copy-on-write SharedBytes:
+// copying a Packet at dataplane fan-out points (links, taps, switch
+// pipelines, middlebox chains, retransmission buffers) shares the buffer and
+// only an actual in-place mutation clones it. Simulation-only
+// instrumentation (creation time, traversed-node trace) rides along
+// out-of-band; it is *not* visible to protocol logic and exists so tests and
+// the auditor benches can compare detector output against ground truth.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "netsim/addr.h"
+#include "netsim/names.h"
 #include "util/bytes.h"
 #include "util/time.h"
 
@@ -41,14 +45,38 @@ struct IpHeader {
   bool operator==(const IpHeader&) const = default;
 };
 
+// Ground-truth record of the nodes a packet traversed. Hops are interned
+// 32-bit ids against the owning Network's NameTable; the strings themselves
+// are materialized only on demand (strings()), so the per-hop cost on the
+// forwarding path is a single integer append.
+struct HopTrace {
+  std::vector<std::uint32_t> ids;
+  const NameTable* names = nullptr;  // table the ids were interned against
+
+  // Appends a hop, binding the trace to `table` on first use.
+  void record(const NameTable& table, std::uint32_t id) {
+    if (names == nullptr) names = &table;
+    ids.push_back(id);
+  }
+
+  std::size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+  void clear() { ids.clear(); }
+
+  // Materializes the traversed node names, in order.
+  std::vector<std::string> strings() const;
+
+  bool operator==(const HopTrace& other) const { return ids == other.ids; }
+};
+
 struct Packet {
   std::uint64_t id = 0;  // unique per Network, assigned at creation
   IpHeader ip;
-  Bytes l4;  // serialized transport segment (header + payload)
+  SharedBytes l4;  // serialized transport segment (header + payload), CoW
 
   // --- simulation instrumentation (not on the wire) ---
   SimTime created_at = 0;
-  std::vector<std::string> hop_trace;  // node names traversed (ground truth)
+  HopTrace hop_trace;  // node ids traversed (ground truth)
 
   std::size_t size() const { return IpHeader::kWireSize + l4.size(); }
 

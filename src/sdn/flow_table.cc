@@ -2,22 +2,38 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace pvn {
 
+std::size_t FlowTable::ExactKeyHash::operator()(
+    const ExactKey& k) const noexcept {
+  std::uint64_t a = (static_cast<std::uint64_t>(k.src) << 32) | k.dst;
+  std::uint64_t b = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                         k.in_port))
+                     << 32) |
+                    (static_cast<std::uint64_t>(k.src_port) << 16) |
+                    k.dst_port;
+  std::uint64_t c = (static_cast<std::uint64_t>(k.mask) << 16) |
+                    (static_cast<std::uint64_t>(k.proto) << 8) | k.tos;
+  return static_cast<std::size_t>(
+      hash_combine_u64(hash_combine_u64(mix_u64(a), b), c));
+}
+
 void FlowTable::add(FlowRule rule) {
+  rule.cached_specificity = rule.match.specificity();
   // Find insertion position: ordered by priority desc, then specificity
-  // desc, then insertion order (stable).
+  // desc, then insertion order (stable). Uses the cached specificity of the
+  // rules walked past instead of recomputing each one.
   const int prio = rule.priority;
-  const int spec = rule.match.specificity();
+  const int spec = rule.cached_specificity;
   auto it = rules_.begin();
-  auto oit = order_.begin();
-  for (; it != rules_.end(); ++it, ++oit) {
+  for (; it != rules_.end(); ++it) {
     if (it->priority < prio) break;
-    if (it->priority == prio && it->match.specificity() < spec) break;
+    if (it->priority == prio && it->cached_specificity < spec) break;
   }
-  oit = order_.insert(oit, seq_++);
   rules_.insert(it, std::move(rule));
-  (void)oit;
+  index_dirty_ = true;
 }
 
 std::size_t FlowTable::remove_by_cookie(const std::string& cookie) {
@@ -31,16 +47,119 @@ std::size_t FlowTable::remove_if(
   for (std::size_t i = rules_.size(); i-- > 0;) {
     if (pred(rules_[i])) {
       rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(i));
-      order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
       ++removed;
     }
   }
+  if (removed > 0) index_dirty_ = true;
   return removed;
 }
 
+void FlowTable::clear() {
+  rules_.clear();
+  buckets_.clear();
+  index_dirty_ = false;
+}
+
+std::optional<std::uint8_t> FlowTable::hashable_mask(const FlowMatch& m) {
+  std::uint8_t mask = 0;
+  if (m.in_port) mask |= kFieldInPort;
+  if (m.src) {
+    if (m.src->len < 32) return std::nullopt;  // true prefix: wildcard path
+    mask |= kFieldSrc;
+  }
+  if (m.dst) {
+    if (m.dst->len < 32) return std::nullopt;
+    mask |= kFieldDst;
+  }
+  if (m.proto) mask |= kFieldProto;
+  if (m.src_port) mask |= kFieldSrcPort;
+  if (m.dst_port) mask |= kFieldDstPort;
+  if (m.tos) mask |= kFieldTos;
+  if (mask == 0) return std::nullopt;  // match-all: wildcard path
+  return mask;
+}
+
+void FlowTable::rebuild_index() const {
+  buckets_.clear();
+  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
+    const FlowRule& rule = rules_[i];
+    if (buckets_.empty() || buckets_.back().priority != rule.priority) {
+      buckets_.emplace_back();
+      buckets_.back().priority = rule.priority;
+    }
+    Bucket& bucket = buckets_.back();
+    const auto mask = hashable_mask(rule.match);
+    if (!mask) {
+      bucket.wildcard.push_back(i);
+      continue;
+    }
+    ExactKey key;
+    key.mask = *mask;
+    const FlowMatch& m = rule.match;
+    if (m.in_port) key.in_port = *m.in_port;
+    if (m.src) key.src = m.src->addr.v;
+    if (m.dst) key.dst = m.dst->addr.v;
+    if (m.proto) key.proto = static_cast<std::uint8_t>(*m.proto);
+    if (m.src_port) key.src_port = *m.src_port;
+    if (m.dst_port) key.dst_port = *m.dst_port;
+    if (m.tos) key.tos = *m.tos;
+    // First insertion wins: rules_ is walked in sort order, so duplicate
+    // keys keep the (priority, specificity, FIFO) winner.
+    bucket.exact.emplace(key, i);
+    if (std::find(bucket.masks.begin(), bucket.masks.end(), *mask) ==
+        bucket.masks.end()) {
+      bucket.masks.push_back(*mask);
+    }
+  }
+  index_dirty_ = false;
+}
+
 const FlowRule* FlowTable::lookup(const Packet& pkt, int in_port) const {
-  for (const FlowRule& rule : rules_) {
-    if (rule.match.matches(pkt, in_port)) {
+  if (index_dirty_) rebuild_index();
+
+  // L4 ports are parsed lazily, at most once per lookup.
+  int ports_state = 0;  // 0 = not parsed, 1 = available, -1 = unavailable
+  Port src_port = 0, dst_port = 0;
+  const auto ports_available = [&]() {
+    if (ports_state == 0) {
+      ports_state = peek_ports(static_cast<std::uint8_t>(pkt.ip.proto),
+                               pkt.l4, src_port, dst_port)
+                        ? 1
+                        : -1;
+    }
+    return ports_state == 1;
+  };
+
+  constexpr std::uint32_t kNoRule = 0xFFFFFFFFu;
+  for (const Bucket& bucket : buckets_) {
+    std::uint32_t best = kNoRule;
+    for (const std::uint8_t mask : bucket.masks) {
+      if ((mask & (kFieldSrcPort | kFieldDstPort)) != 0 && !ports_available()) {
+        continue;  // port-matching rules cannot match a portless packet
+      }
+      ExactKey key;
+      key.mask = mask;
+      if (mask & kFieldInPort) key.in_port = in_port;
+      if (mask & kFieldSrc) key.src = pkt.ip.src.v;
+      if (mask & kFieldDst) key.dst = pkt.ip.dst.v;
+      if (mask & kFieldProto) key.proto = static_cast<std::uint8_t>(pkt.ip.proto);
+      if (mask & kFieldSrcPort) key.src_port = src_port;
+      if (mask & kFieldDstPort) key.dst_port = dst_port;
+      if (mask & kFieldTos) key.tos = pkt.ip.tos;
+      const auto it = bucket.exact.find(key);
+      if (it != bucket.exact.end() && it->second < best) best = it->second;
+    }
+    // Wildcard indices ascend in the same global order the hash winner is
+    // drawn from, so the first wildcard match below `best` decides.
+    for (const std::uint32_t idx : bucket.wildcard) {
+      if (idx >= best) break;
+      if (rules_[idx].match.matches(pkt, in_port)) {
+        best = idx;
+        break;
+      }
+    }
+    if (best != kNoRule) {
+      const FlowRule& rule = rules_[best];
       ++rule.hit_packets;
       rule.hit_bytes += pkt.size();
       return &rule;

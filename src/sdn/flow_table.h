@@ -1,9 +1,20 @@
 // A priority flow table: the core SDN data structure PVNCs compile into.
+//
+// Semantics: lookup() returns the matching rule that is first in
+// (priority desc, specificity desc, insertion order) — identical to a linear
+// scan of the sorted rule vector. Structure: rules are additionally indexed
+// two-level — per-priority buckets, each holding an exact-match hash map
+// keyed on the fields its hashable rules actually set (per-bucket field
+// masks) plus an ordered wildcard fallback list — so the dominant
+// per-subscriber exact-match rules cost O(#priority-bands) hash probes per
+// packet instead of an O(#rules) scan. See DESIGN.md "Hot paths and
+// performance model".
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "sdn/action.h"
@@ -20,6 +31,9 @@ struct FlowRule {
   // Counters.
   mutable std::uint64_t hit_packets = 0;
   mutable std::uint64_t hit_bytes = 0;
+
+  // match.specificity(), cached by FlowTable::add (callers need not set it).
+  int cached_specificity = -1;
 };
 
 class FlowTable {
@@ -34,7 +48,7 @@ class FlowTable {
   // rewiring (e.g. dropping only the middlebox-diversion rules of a cookie
   // when its chain host crashed, leaving drop/rate policies installed).
   std::size_t remove_if(const std::function<bool(const FlowRule&)>& pred);
-  void clear() { rules_.clear(); }
+  void clear();
 
   // Highest-priority matching rule, or nullptr (table miss). Updates the
   // rule's counters.
@@ -46,10 +60,58 @@ class FlowTable {
   std::uint64_t misses() const { return misses_; }
 
  private:
-  std::vector<FlowRule> rules_;
-  std::uint64_t seq_ = 0;
-  std::vector<std::uint64_t> order_;  // parallel to rules_: insertion seq
+  // Bitmask of FlowMatch fields a hashable rule sets.
+  enum FieldBits : std::uint8_t {
+    kFieldInPort = 1u << 0,
+    kFieldSrc = 1u << 1,
+    kFieldDst = 1u << 2,
+    kFieldProto = 1u << 3,
+    kFieldSrcPort = 1u << 4,
+    kFieldDstPort = 1u << 5,
+    kFieldTos = 1u << 6,
+  };
+
+  // Exact-match hash key: the field mask plus the matched field values
+  // (unset fields zeroed, so equal keys imply equal matches).
+  struct ExactKey {
+    std::uint8_t mask = 0;
+    std::uint8_t proto = 0;
+    std::uint8_t tos = 0;
+    std::int32_t in_port = 0;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    bool operator==(const ExactKey&) const = default;
+  };
+  struct ExactKeyHash {
+    std::size_t operator()(const ExactKey& k) const noexcept;
+  };
+
+  struct Bucket {
+    int priority = 0;
+    // Distinct field masks of the hashable rules in this priority band; a
+    // lookup builds one key per mask.
+    std::vector<std::uint8_t> masks;
+    // Exact key -> lowest rules_ index with that key (the winner among
+    // duplicates under the sort order).
+    std::unordered_map<ExactKey, std::uint32_t, ExactKeyHash> exact;
+    // Non-hashable rules, ascending rules_ index (== specificity desc, FIFO).
+    std::vector<std::uint32_t> wildcard;
+  };
+
+  // A rule is hashable iff every set field is an exact value (prefixes /32),
+  // so a packet can be probed with one key per distinct mask.
+  static std::optional<std::uint8_t> hashable_mask(const FlowMatch& m);
+  void rebuild_index() const;
+
+  std::vector<FlowRule> rules_;  // sorted: priority desc, spec desc, FIFO
   mutable std::uint64_t misses_ = 0;
+
+  // Lazily (re)built two-level index; any structural change just marks it
+  // dirty, keeping add/remove simple and O(n) like the insertion itself.
+  mutable std::vector<Bucket> buckets_;  // priority desc
+  mutable bool index_dirty_ = true;
 };
 
 }  // namespace pvn

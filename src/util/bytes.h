@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -17,6 +18,64 @@
 namespace pvn {
 
 using Bytes = std::vector<std::uint8_t>;
+
+// A copy-on-write byte buffer: copies share one immutable backing Bytes via a
+// shared_ptr; mutation detaches (clones) only when the buffer is shared.
+// Packet payloads use this so that fan-out points on the dataplane (links,
+// switch pipelines, taps, middlebox chains, retransmission buffers) copy a
+// pointer instead of the payload. Read access converts implicitly to
+// `const Bytes&`, so codecs and matchers taking const refs work unchanged.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  SharedBytes(Bytes b)  // NOLINT(google-explicit-constructor)
+      : rep_(b.empty() ? nullptr : std::make_shared<Bytes>(std::move(b))) {}
+
+  operator const Bytes&() const {  // NOLINT(google-explicit-constructor)
+    return get();
+  }
+  const Bytes& get() const { return rep_ ? *rep_ : empty_bytes(); }
+
+  std::size_t size() const { return rep_ ? rep_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* data() const { return rep_ ? rep_->data() : nullptr; }
+  Bytes::const_iterator begin() const { return get().begin(); }
+  Bytes::const_iterator end() const { return get().end(); }
+
+  std::uint8_t operator[](std::size_t i) const { return (*rep_)[i]; }
+  // Mutable element access detaches from sharers first (copy-on-write).
+  std::uint8_t& operator[](std::size_t i) { return mutate()[i]; }
+
+  // Unique, mutable view of the buffer; clones iff currently shared.
+  Bytes& mutate() {
+    if (!rep_) {
+      rep_ = std::make_shared<Bytes>();
+    } else if (rep_.use_count() > 1) {
+      rep_ = std::make_shared<Bytes>(*rep_);
+    }
+    return *rep_;
+  }
+
+  long use_count() const { return rep_.use_count(); }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.rep_ == b.rep_ || a.get() == b.get();
+  }
+  friend bool operator==(const SharedBytes& a, const Bytes& b) {
+    return a.get() == b;
+  }
+  friend bool operator==(const Bytes& a, const SharedBytes& b) {
+    return a == b.get();
+  }
+
+ private:
+  static const Bytes& empty_bytes() {
+    static const Bytes kEmpty;
+    return kEmpty;
+  }
+
+  std::shared_ptr<Bytes> rep_;
+};
 
 class ByteWriter {
  public:
@@ -30,6 +89,7 @@ class ByteWriter {
   void f64(double v);
   void raw(std::span<const std::uint8_t> data);
   void raw(const Bytes& data) { raw(std::span<const std::uint8_t>(data)); }
+  void raw(const SharedBytes& data) { raw(data.get()); }
 
   // Length-prefixed (u32) byte string.
   void blob(std::span<const std::uint8_t> data);
@@ -51,6 +111,7 @@ class ByteReader {
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
   explicit ByteReader(const Bytes& data)
       : data_(std::span<const std::uint8_t>(data)) {}
+  explicit ByteReader(const SharedBytes& data) : ByteReader(data.get()) {}
 
   std::uint8_t u8();
   std::uint16_t u16();

@@ -1,0 +1,39 @@
+// Small hashing utilities shared by the hot-path containers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace pvn {
+
+// Heterogeneous (transparent) hash/equal for unordered containers keyed by
+// std::string: enables allocation-free lookups with string_view / char*.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct StringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+// splitmix64 finalizer: cheap, well-distributed 64-bit mixer.
+constexpr std::uint64_t mix_u64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine_u64(std::uint64_t seed, std::uint64_t v) {
+  return mix_u64(seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6)));
+}
+
+}  // namespace pvn

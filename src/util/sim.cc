@@ -1,62 +1,109 @@
 #include "util/sim.h"
 
+#include <algorithm>
+
 namespace pvn {
 
-EventId Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+namespace {
+
+constexpr EventId make_event_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<EventId>(gen) << 32) | slot;
+}
+constexpr std::uint32_t event_slot(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+}
+constexpr std::uint32_t event_gen(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+// Min-heap on (when, seq): std::push_heap/pop_heap build a max-heap, so the
+// comparator orders later events first.
+struct HeapLater {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+EventId Simulator::schedule_fn(SimTime when, EventFn fn) {
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  heap_.push_back(HeapEntry{when, next_seq_++, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+  ++live_;
+  return make_event_id(slot, s.gen);
 }
 
 void Simulator::cancel(EventId id) {
   if (id == kInvalidEventId) return;
-  if (cancelled_.insert(id).second) ++cancelled_live_;
+  const std::uint32_t slot = event_slot(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.armed || s.gen != event_gen(id)) return;  // already fired/cancelled
+  s.armed = false;
+  s.fn.reset();  // release captures now; the heap entry is reclaimed on pop
+  --live_;
 }
 
-bool Simulator::pop_one(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; move out via const_cast on the handle,
-    // which is safe because we pop immediately after.
-    Event& top = const_cast<Event&>(queue_.top());
-    Event ev = std::move(top);
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_live_;
-      continue;
+bool Simulator::pop_one_until(SimTime deadline, SimTime& when_out,
+                              EventFn& fn_out) {
+  while (!heap_.empty() && heap_.front().when <= deadline) {
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    heap_.pop_back();
+    Slot& s = slots_[top.slot];
+    const bool fire = s.armed && s.gen == top.gen;
+    // Retire the slot: bump the generation so outstanding EventIds go stale,
+    // then recycle it.
+    ++s.gen;
+    s.armed = false;
+    if (fire) fn_out = std::move(s.fn);
+    s.fn.reset();
+    free_slots_.push_back(top.slot);
+    if (fire) {
+      --live_;
+      when_out = top.when;
+      return true;
     }
-    out = std::move(ev);
-    return true;
   }
   return false;
 }
 
 bool Simulator::step() {
-  Event ev;
-  if (!pop_one(ev)) return false;
-  now_ = ev.when;
-  ev.fn();
+  SimTime when;
+  EventFn fn;
+  if (!pop_one_until(std::numeric_limits<SimTime>::max(), when, fn)) {
+    return false;
+  }
+  now_ = when;
+  fn();
   return true;
 }
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t executed = 0;
-  Event ev;
-  while (!queue_.empty()) {
-    if (queue_.top().when > deadline) break;
-    if (!pop_one(ev)) break;
-    if (ev.when > deadline) {
-      // Re-queue: pop_one consumed a live event past the deadline.
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev.when;
-    ev.fn();
+  SimTime when;
+  EventFn fn;
+  while (pop_one_until(deadline, when, fn)) {
+    now_ = when;
+    fn();
+    fn.reset();
     ++executed;
   }
-  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  if (now_ < deadline && heap_.empty()) now_ = deadline;
   return executed;
 }
 

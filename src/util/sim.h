@@ -1,25 +1,130 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns the virtual clock and a priority queue of scheduled
-// callbacks. Every component in the repository (links, TCP endpoints,
-// middlebox hosts, protocol state machines) schedules work through one shared
-// Simulator, which makes whole-network runs single-threaded and deterministic.
+// A Simulator owns the virtual clock and a binary-heap event queue. Every
+// component in the repository (links, TCP endpoints, middlebox hosts,
+// protocol state machines) schedules work through one shared Simulator, which
+// makes whole-network runs single-threaded and deterministic.
+//
+// Hot-path design (see DESIGN.md "Hot paths and performance model"):
+//   * Callbacks are stored in EventFn, a move-only callable with a 120-byte
+//     inline buffer, so capture-light lambdas (including ones carrying a
+//     whole Packet) never touch the heap per event.
+//   * Events live in generation-tagged slots; the heap holds (when, seq,
+//     slot, gen) entries only. cancel() is O(1): it disarms the slot and
+//     frees the callback immediately, so cancelled state never accumulates
+//     across long runs (the heap entry is reclaimed lazily on pop).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <limits>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/time.h"
 
 namespace pvn {
 
-// Handle used to cancel a scheduled event. Cancellation is lazy: the event
-// stays in the queue but its callback is not invoked.
+// Handle used to cancel a scheduled event. Encodes (generation << 32 | slot);
+// stale handles (already fired or cancelled) are recognized by a generation
+// mismatch and ignored.
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEventId = 0;
+
+// Move-only type-erased void() callable with a small-buffer-optimized store.
+// Callables up to kInlineSize bytes (and max_align_t alignment) are stored
+// inline; larger ones fall back to a heap allocation.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 120;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      heap_ = new D(std::forward<F>(fn));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  bool inlined() const { return ops_ != nullptr && heap_ == nullptr; }
+
+  void operator()() { ops_->invoke(target()); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(target());
+      ops_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs the callable into `dst` and destroys the source
+    // (inline storage only; heap callables move by pointer steal).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      nullptr,
+      [](void* p) { delete static_cast<D*>(p); },
+  };
+
+  void* target() { return heap_ != nullptr ? heap_ : static_cast<void*>(buf_); }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    heap_ = other.heap_;
+    if (ops_ != nullptr && other.heap_ == nullptr) {
+      ops_->relocate(buf_, other.buf_);
+    }
+    other.ops_ = nullptr;
+    other.heap_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
 
 class Simulator {
  public:
@@ -30,15 +135,20 @@ class Simulator {
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `when` (clamped to now()).
-  EventId schedule_at(SimTime when, std::function<void()> fn);
-
-  // Schedules `fn` to run `delay` nanoseconds from now.
-  EventId schedule_after(SimDuration delay, std::function<void()> fn) {
-    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  template <typename F>
+  EventId schedule_at(SimTime when, F&& fn) {
+    return schedule_fn(when, EventFn(std::forward<F>(fn)));
   }
 
-  // Cancels a pending event. Safe to call with kInvalidEventId or an
-  // already-fired event id (both are no-ops).
+  // Schedules `fn` to run `delay` nanoseconds from now.
+  template <typename F>
+  EventId schedule_after(SimDuration delay, F&& fn) {
+    return schedule_fn(now_ + (delay < 0 ? 0 : delay),
+                       EventFn(std::forward<F>(fn)));
+  }
+
+  // Cancels a pending event in O(1). Safe to call with kInvalidEventId or an
+  // already-fired/cancelled event id (both are no-ops).
   void cancel(EventId id);
 
   // Runs events until the queue drains or the clock would pass `deadline`.
@@ -51,30 +161,34 @@ class Simulator {
   // Executes at most one event; returns false if the queue is empty.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_live_; }
+  std::size_t pending_events() const { return live_; }
 
  private:
-  struct Event {
+  // Heap entries are 24 bytes; the callback lives in its slot until fired or
+  // cancelled. `gen` detects stale entries after a slot is recycled.
+  struct HeapEntry {
     SimTime when;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    EventId id;
-    std::function<void()> fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    std::uint32_t gen = 1;
+    bool armed = false;
+    EventFn fn;
   };
 
-  bool pop_one(Event& out);
+  EventId schedule_fn(SimTime when, EventFn fn);
+  // Pops the earliest live event with when <= deadline (reclaiming any
+  // cancelled entries it passes). Returns false if there is none.
+  bool pop_one_until(SimTime deadline, SimTime& when_out, EventFn& fn_out);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
-  std::size_t cancelled_live_ = 0;
+  std::vector<HeapEntry> heap_;  // binary min-heap on (when, seq)
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
 };
 
 }  // namespace pvn

@@ -1,0 +1,245 @@
+// Property tests for the two-level (hashed exact-match + wildcard fallback)
+// FlowTable: randomized rule sets and packets run through the indexed table
+// and a reference linear-scan implementation side by side, asserting
+// identical winners, hit counters, miss counts, and removal behavior.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netsim/network.h"
+#include "sdn/flow_table.h"
+#include "util/rng.h"
+
+namespace pvn {
+namespace {
+
+// The pre-index FlowTable semantics, verbatim: a sorted vector (priority
+// desc, specificity desc, insertion order) scanned linearly per lookup.
+class ReferenceTable {
+ public:
+  void add(FlowRule rule) {
+    const int prio = rule.priority;
+    const int spec = rule.match.specificity();
+    auto it = rules_.begin();
+    for (; it != rules_.end(); ++it) {
+      if (it->priority < prio) break;
+      if (it->priority == prio && it->match.specificity() < spec) break;
+    }
+    rules_.insert(it, std::move(rule));
+  }
+
+  std::size_t remove_by_cookie(const std::string& cookie) {
+    return remove_if(
+        [&cookie](const FlowRule& rule) { return rule.cookie == cookie; });
+  }
+
+  std::size_t remove_if(const std::function<bool(const FlowRule&)>& pred) {
+    std::size_t removed = 0;
+    for (std::size_t i = rules_.size(); i-- > 0;) {
+      if (pred(rules_[i])) {
+        rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++removed;
+      }
+    }
+    return removed;
+  }
+
+  const FlowRule* lookup(const Packet& pkt, int in_port) const {
+    for (const FlowRule& rule : rules_) {
+      if (rule.match.matches(pkt, in_port)) {
+        ++rule.hit_packets;
+        rule.hit_bytes += pkt.size();
+        return &rule;
+      }
+    }
+    ++misses_;
+    return nullptr;
+  }
+
+  const std::vector<FlowRule>& rules() const { return rules_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::vector<FlowRule> rules_;
+  mutable std::uint64_t misses_ = 0;
+};
+
+// Small value pools so random rules and packets actually collide.
+const std::uint8_t kOctets[] = {1, 2, 3};
+const Port kPorts[] = {53, 80, 443, 5000};
+const IpProto kProtos[] = {IpProto::kTcp, IpProto::kUdp, IpProto::kEsp};
+const int kPrefixLens[] = {0, 8, 16, 24, 32, 32};  // bias toward exact
+
+Ipv4Addr random_addr(Rng& rng) {
+  return Ipv4Addr(10, kOctets[rng.next_below(3)], kOctets[rng.next_below(3)],
+                  kOctets[rng.next_below(3)]);
+}
+
+FlowRule random_rule(Rng& rng, int index) {
+  FlowRule rule;
+  rule.priority = static_cast<int>(rng.next_below(4)) * 10;
+  rule.cookie = "r" + std::to_string(index);
+  FlowMatch& m = rule.match;
+  if (rng.bernoulli(0.3)) m.in_port = static_cast<int>(rng.next_below(3));
+  if (rng.bernoulli(0.5)) {
+    m.src = Prefix{random_addr(rng),
+                   kPrefixLens[rng.next_below(std::size(kPrefixLens))]};
+  }
+  if (rng.bernoulli(0.6)) {
+    m.dst = Prefix{random_addr(rng),
+                   kPrefixLens[rng.next_below(std::size(kPrefixLens))]};
+  }
+  if (rng.bernoulli(0.5)) m.proto = kProtos[rng.next_below(3)];
+  if (rng.bernoulli(0.3)) m.src_port = kPorts[rng.next_below(4)];
+  if (rng.bernoulli(0.3)) m.dst_port = kPorts[rng.next_below(4)];
+  if (rng.bernoulli(0.2)) m.tos = static_cast<std::uint8_t>(rng.next_below(2) * 0x20);
+  return rule;
+}
+
+Packet random_packet(Network& net, Rng& rng) {
+  const IpProto proto = kProtos[rng.next_below(3)];
+  Bytes l4;
+  if (proto == IpProto::kTcp) {
+    TcpHeader hdr;
+    hdr.src_port = kPorts[rng.next_below(4)];
+    hdr.dst_port = kPorts[rng.next_below(4)];
+    l4 = serialize_tcp(hdr, Bytes(32, 0xAB));
+  } else if (proto == IpProto::kUdp) {
+    UdpHeader hdr;
+    hdr.src_port = kPorts[rng.next_below(4)];
+    hdr.dst_port = kPorts[rng.next_below(4)];
+    l4 = serialize_udp(hdr, Bytes(32, 0xCD));
+  } else {
+    l4 = Bytes(16, 0x11);  // portless
+  }
+  Packet pkt = net.make_packet(random_addr(rng), random_addr(rng), proto,
+                               std::move(l4));
+  pkt.ip.tos = static_cast<std::uint8_t>(rng.next_below(2) * 0x20);
+  return pkt;
+}
+
+void expect_same_winner(const FlowRule* got, const FlowRule* want,
+                        std::size_t packet_no) {
+  if (want == nullptr) {
+    EXPECT_EQ(got, nullptr) << "packet " << packet_no << ": indexed table hit "
+                            << (got ? got->cookie : "") << ", reference missed";
+    return;
+  }
+  ASSERT_NE(got, nullptr) << "packet " << packet_no
+                          << ": indexed table missed, reference hit "
+                          << want->cookie;
+  EXPECT_EQ(got->cookie, want->cookie) << "packet " << packet_no;
+}
+
+void expect_same_state(const FlowTable& table, const ReferenceTable& ref) {
+  ASSERT_EQ(table.size(), ref.rules().size());
+  EXPECT_EQ(table.misses(), ref.misses());
+  for (std::size_t i = 0; i < ref.rules().size(); ++i) {
+    const FlowRule& a = table.rules()[i];
+    const FlowRule& b = ref.rules()[i];
+    EXPECT_EQ(a.cookie, b.cookie) << "rule order diverged at " << i;
+    EXPECT_EQ(a.hit_packets, b.hit_packets) << a.cookie;
+    EXPECT_EQ(a.hit_bytes, b.hit_bytes) << a.cookie;
+  }
+}
+
+class FlowTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableProperty, MatchesLinearScanReference) {
+  Rng rng(GetParam());
+  Network net;
+  FlowTable table;
+  ReferenceTable ref;
+
+  const int kRules = 120;
+  for (int i = 0; i < kRules; ++i) {
+    FlowRule rule = random_rule(rng, i);
+    table.add(rule);
+    ref.add(rule);
+  }
+
+  const std::size_t kPackets = 400;
+  for (std::size_t p = 0; p < kPackets; ++p) {
+    const Packet pkt = random_packet(net, rng);
+    const int in_port = static_cast<int>(rng.next_below(3));
+    expect_same_winner(table.lookup(pkt, in_port), ref.lookup(pkt, in_port), p);
+  }
+  expect_same_state(table, ref);
+}
+
+TEST_P(FlowTableProperty, RemovalKeepsTablesInLockstep) {
+  Rng rng(GetParam() + 1000);
+  Network net;
+  FlowTable table;
+  ReferenceTable ref;
+
+  // Duplicate cookies so remove_by_cookie erases several rules at once.
+  for (int i = 0; i < 100; ++i) {
+    FlowRule rule = random_rule(rng, i);
+    rule.cookie = "owner" + std::to_string(i % 10);
+    table.add(rule);
+    ref.add(rule);
+  }
+
+  for (int round = 0; round < 10; ++round) {
+    // Interleave lookups with structural changes.
+    for (int p = 0; p < 40; ++p) {
+      const Packet pkt = random_packet(net, rng);
+      const int in_port = static_cast<int>(rng.next_below(3));
+      expect_same_winner(table.lookup(pkt, in_port), ref.lookup(pkt, in_port),
+                         static_cast<std::size_t>(round * 100 + p));
+    }
+    if (round % 2 == 0) {
+      const std::string cookie = "owner" + std::to_string(rng.next_below(10));
+      EXPECT_EQ(table.remove_by_cookie(cookie), ref.remove_by_cookie(cookie));
+    } else {
+      const int prio = static_cast<int>(rng.next_below(4)) * 10;
+      const auto pred = [prio](const FlowRule& r) {
+        return r.priority == prio && r.hit_packets == 0;
+      };
+      EXPECT_EQ(table.remove_if(pred), ref.remove_if(pred));
+    }
+    expect_same_state(table, ref);
+  }
+}
+
+TEST(FlowTableProperty, FifoTieBreakAmongIdenticalMatches) {
+  Network net;
+  FlowTable table;
+  for (int i = 0; i < 4; ++i) {
+    FlowRule rule;
+    rule.priority = 7;
+    rule.match.dst = *Prefix::parse("10.1.1.1");
+    rule.match.proto = IpProto::kUdp;
+    rule.cookie = "dup" + std::to_string(i);
+    table.add(rule);
+  }
+  UdpHeader hdr;
+  hdr.src_port = 1;
+  hdr.dst_port = 2;
+  const Packet pkt =
+      net.make_packet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 1, 1, 1),
+                      IpProto::kUdp, serialize_udp(hdr, Bytes(8, 0)));
+  const FlowRule* hit = table.lookup(pkt, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, "dup0");  // first inserted wins
+  // Removing the winner promotes the next insertion, not another candidate.
+  table.remove_by_cookie("dup0");
+  EXPECT_EQ(table.lookup(pkt, 0)->cookie, "dup1");
+}
+
+TEST(FlowTableProperty, CachedSpecificityMatchesRecomputation) {
+  Rng rng(99);
+  FlowTable table;
+  for (int i = 0; i < 64; ++i) table.add(random_rule(rng, i));
+  for (const FlowRule& rule : table.rules()) {
+    EXPECT_EQ(rule.cached_specificity, rule.match.specificity());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace pvn

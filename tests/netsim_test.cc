@@ -340,8 +340,60 @@ TEST(Packet, HopTraceRecordsPath) {
   src.send(0, test_packet(net));
   net.sim().run();
   ASSERT_EQ(dst.received.size(), 1u);
-  EXPECT_EQ(dst.received[0].hop_trace,
+  EXPECT_EQ(dst.received[0].hop_trace.strings(),
             (std::vector<std::string>{"src", "r1", "r2"}));
+}
+
+// Regression: interned hop traces must round-trip to the exact strings the
+// pre-interning vector<string> representation produced (what the auditor
+// benches compare against as ground truth).
+TEST(Packet, InternedHopTraceRoundTripsToStrings) {
+  Network net;
+  auto& src = net.add_node<SinkNode>("gw-src");
+  auto& r1 = net.add_node<Router>("isp.access-1");
+  auto& dst = net.add_node<SinkNode>("subscriber/42");
+  net.connect(src, r1);
+  net.connect(r1, dst);
+  r1.add_route(*Prefix::parse("0.0.0.0/0"), 1);
+
+  src.send(0, test_packet(net));
+  src.send(0, test_packet(net));
+  net.sim().run();
+  ASSERT_EQ(dst.received.size(), 2u);
+  const std::vector<std::string> want{"gw-src", "isp.access-1"};
+  EXPECT_EQ(dst.received[0].hop_trace.strings(), want);
+  EXPECT_EQ(dst.received[1].hop_trace.strings(), want);
+  // Both packets traversed the same nodes, so their interned ids are equal
+  // and drawn from the one per-Network table.
+  EXPECT_EQ(dst.received[0].hop_trace, dst.received[1].hop_trace);
+  EXPECT_EQ(dst.received[0].hop_trace.names, &net.names());
+  // Ids are stable: interning the same name again is a no-op.
+  EXPECT_EQ(net.names().intern("gw-src"), dst.received[0].hop_trace.ids[0]);
+}
+
+TEST(Network, FindNodeWithStringViewIsTransparent) {
+  Network net;
+  auto& node = net.add_node<SinkNode>("needle");
+  const std::string_view sv = "needle";
+  EXPECT_EQ(net.find_node(sv), &node);
+  EXPECT_EQ(net.find_node("missing"), nullptr);
+}
+
+// CoW payloads: copies share the backing buffer; in-place mutation detaches
+// the writer and leaves other holders untouched.
+TEST(Packet, CopyOnWritePayloadSharesUntilMutated) {
+  Network net;
+  Packet a = test_packet(net, 64);
+  EXPECT_EQ(a.l4.use_count(), 1);
+  Packet b = a;
+  EXPECT_EQ(a.l4.use_count(), 2);
+  EXPECT_EQ(b.l4.data(), a.l4.data());
+
+  b.l4[0] ^= 0xFF;  // detaches b
+  EXPECT_EQ(a.l4.use_count(), 1);
+  EXPECT_NE(b.l4.data(), a.l4.data());
+  EXPECT_EQ(a.l4[0], 0xAA);
+  EXPECT_EQ(b.l4[0], 0xAA ^ 0xFF);
 }
 
 TEST(EchoNode, RoundTripTimeIsTwiceOneWay) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "util/bytes.h"
@@ -108,6 +109,121 @@ TEST(Simulator, EventsScheduledDuringRunExecute) {
   sim.schedule_at(0, recurse);
   sim.run();
   EXPECT_EQ(depth, 100);
+}
+
+TEST(Simulator, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(milliseconds(1), [] {});
+  sim.schedule_at(milliseconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.cancel(a);  // double-cancel is a no-op
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// Regression for the PR 1 lease-renewal pattern: schedule+cancel repeated
+// indefinitely (timers that are always re-armed before firing) must not
+// accumulate cancellation state or grow pending_events.
+TEST(Simulator, RepeatedScheduleCancelCyclesDoNotAccumulateState) {
+  Simulator sim;
+  int fired = 0;
+  EventId timer = kInvalidEventId;
+  for (int i = 0; i < 10000; ++i) {
+    sim.cancel(timer);  // for most iterations cancels an unfired event
+    timer = sim.schedule_after(seconds(1000), [&] { ++fired; });
+    EXPECT_EQ(sim.pending_events(), 1u);
+    // Drive unrelated traffic so the queue keeps churning.
+    sim.schedule_after(1, [] {});
+    sim.run_until(sim.now() + 2);
+  }
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(fired, 0);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelledEventIdIsStaleAfterSlotReuse) {
+  Simulator sim;
+  bool first = false, second = false;
+  const EventId a = sim.schedule_at(milliseconds(1), [&] { first = true; });
+  sim.cancel(a);
+  sim.run();  // reclaims the slot
+  const EventId b = sim.schedule_at(milliseconds(2), [&] { second = true; });
+  sim.cancel(a);  // stale id, possibly pointing at b's recycled slot
+  sim.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+// --- EventFn -----------------------------------------------------------------
+
+TEST(EventFn, InvokesInlineAndHeapCallables) {
+  int hits = 0;
+  EventFn small([&hits] { ++hits; });
+  EXPECT_TRUE(small.inlined());
+  small();
+  EXPECT_EQ(hits, 1);
+
+  struct Big {
+    unsigned char pad[256];
+  } big{};
+  EventFn large([&hits, big] {
+    (void)big;
+    ++hits;
+  });
+  EXPECT_FALSE(large.inlined());
+  large();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, MovePreservesCallableAndReleasesSource) {
+  int hits = 0;
+  EventFn a([&hits] { ++hits; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, PacketSizedCapturesStayInline) {
+  // The link-delivery lambda captures a pointer-rich context plus a Packet;
+  // it must fit the inline buffer so per-hop scheduling never heap-allocates
+  // the callback.
+  struct DeliveryCapture {
+    void* link;
+    void* dir;
+    void* from;
+    bool lost;
+    std::uint64_t id;
+    void* shared_payload;
+    std::int64_t created_at;
+    void* trace_vec[3];
+    void* names;
+  } cap{};
+  EventFn fn([cap] { (void)cap; });
+  EXPECT_TRUE(fn.inlined());
+  static_assert(sizeof(DeliveryCapture) <= EventFn::kInlineSize);
+}
+
+TEST(EventFn, DestroysMoveOnlyCaptureExactlyOnce) {
+  auto token = std::make_unique<int>(7);
+  int got = 0;
+  {
+    EventFn fn([&got, token = std::move(token)] { got = *token; });
+    EventFn moved(std::move(fn));
+    moved();
+  }
+  EXPECT_EQ(got, 7);
 }
 
 // --- Time formatting ---------------------------------------------------------
