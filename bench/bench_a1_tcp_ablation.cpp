@@ -81,7 +81,8 @@ Outcome download(const Variant& v, double loss, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("A1 TCP mechanism ablation",
                "SACK recovery and IW10 are the mechanisms behind the E6 "
                "shapes; disabling them degrades lossy-path completion times");

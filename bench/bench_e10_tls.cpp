@@ -69,7 +69,8 @@ const char* verdict(const TlsOutcome& honest, const TlsOutcome& mitm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E10 TLS interception vs client stacks",
                "apps that skip validation get MITM'd; the PVN TlsValidator "
                "recovers protection without touching the app [23]");

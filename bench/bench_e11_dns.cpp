@@ -27,7 +27,8 @@ const char* where(const DnsResult& r, Ipv4Addr truth, Ipv4Addr forged) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E11 DNS forgery defences",
                "a forging resolver poisons unprotected clients; the PVN DNS "
                "module (signatures + pins) and resolver quorum both stop it");

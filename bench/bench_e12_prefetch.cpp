@@ -75,7 +75,8 @@ RunResult run(Testbed& tb, Ipv4Addr target, Port port, bool device_prefetch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E12 prefetch placement",
                "middlebox prefetch gives near-cache latency without burning "
                "device quota on unused objects [29]");

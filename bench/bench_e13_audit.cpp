@@ -170,7 +170,8 @@ const char* yn(bool b) { return b ? "CAUGHT" : "-"; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E13 auditor vs cheating strategies",
                "attestation + active measurements catch every cheat; "
                "evidence feeds disputes and reputation (§3.1, §3.3)");

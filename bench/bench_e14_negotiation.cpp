@@ -13,7 +13,8 @@
 
 using namespace pvn;
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E14 negotiation outcomes across provider policy spectrum",
                "hard/soft constraints drive accept / subset / walk-away");
 

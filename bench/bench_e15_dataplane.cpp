@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "mbox/host.h"
 #include "mbox/inline_modules.h"
 #include "sdn/flow_table.h"
@@ -369,6 +370,7 @@ void write_json_summary(const char* path, bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bool quick = false;
   const char* env_quick = std::getenv("PVN_BENCH_QUICK");
   if (env_quick != nullptr && std::strcmp(env_quick, "0") != 0) quick = true;

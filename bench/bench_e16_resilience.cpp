@@ -163,7 +163,8 @@ ReclaimResult run_reclaim(SimDuration lease) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E16 control-plane resilience under faults",
                "retransmission rides out lossy links, leases reclaim "
                "crashed clients, and sessions fail over to the VPN tunnel "

@@ -87,7 +87,8 @@ void part2_subscriber_scaling() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   part1_instance_costs();
   part2_subscriber_scaling();
   return 0;

@@ -74,7 +74,8 @@ SimDuration fetch_time(const AccessQuality& access, const Scenario& scenario) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E5 tunnel overhead vs in-network PVN",
                "tunneling adds 10s of ms (well-connected) to 100s of ms "
                "(poorly connected); in-network PVNs avoid it");

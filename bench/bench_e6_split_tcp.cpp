@@ -67,7 +67,8 @@ SimDuration download(const PathParams& p, bool via_proxy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E6 split-TCP proxy vs direct",
                "split connections win when RTT/loss dominate; overheads can "
                "make them a wash (or worse) on clean short paths");

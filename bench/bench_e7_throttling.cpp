@@ -74,7 +74,8 @@ Result stream(Testbed& tb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E7 video throttling + PVN opt-out",
                "BingeOn throttles video to 1.5 Mbps for everyone; PVNs let "
                "each user choose, and audits detect the shaping [18]");

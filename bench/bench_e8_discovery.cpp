@@ -20,7 +20,8 @@ void outcome_row(const char* scenario, const DeployOutcome& out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E8 discovery/deployment protocol outcomes",
                "devices negotiate full, partial, or no deployment with "
                "bounded message counts and latency (§3.1)");

@@ -75,7 +75,8 @@ Pvnc pii_only_pvnc() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("E9 PII leak blocking: where should the detector run?",
                "in-network PVNs block leaks without device cost or tunnel "
                "delay [30]");

@@ -96,7 +96,8 @@ void part2_transcoder_path() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   part1_per_class_policy();
   part2_transcoder_path();
   return 0;

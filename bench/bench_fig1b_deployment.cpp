@@ -12,7 +12,8 @@
 
 using namespace pvn;
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("Fig1b deployment cost vs chain composition",
                "software middleboxes instantiate in ~30 ms (parallel) and "
                "6 MB each; reusing existing in-network functions is free");

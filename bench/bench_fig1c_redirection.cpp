@@ -94,7 +94,8 @@ Latencies measure(Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pvn::bench::TelemetryScope telemetry(argc, argv);
   bench::title("Fig1c selective redirection",
                "only flows needing the trusted environment pay the cloud "
                "detour; a full-tunnel VPN taxes everything");

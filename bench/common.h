@@ -7,10 +7,50 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "telemetry/export.h"
+
 namespace pvn::bench {
+
+// Telemetry export destination: --telemetry-out=<dir> on the command line,
+// or the PVN_TELEMETRY_OUT environment variable. Empty = disabled.
+inline std::string telemetry_out_dir(int argc, char** argv) {
+  constexpr const char kFlag[] = "--telemetry-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return argv[i] + (sizeof(kFlag) - 1);
+    }
+  }
+  const char* env = std::getenv("PVN_TELEMETRY_OUT");
+  return env != nullptr ? env : "";
+}
+
+// RAII guard every bench constructs at the top of main(): when a telemetry
+// output directory was requested, the destructor dumps the global metrics
+// registry and span ring there (metrics.prom, metrics.json,
+// trace_events.json — the latter loads in chrome://tracing / Perfetto).
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, char** argv)
+      : dir_(telemetry_out_dir(argc, argv)) {}
+  ~TelemetryScope() {
+    if (dir_.empty()) return;
+    telemetry::export_telemetry(dir_);
+    std::printf("telemetry written to %s\n", dir_.c_str());
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  const std::string& dir() const { return dir_; }
+  bool enabled() const { return !dir_.empty(); }
+
+ private:
+  std::string dir_;
+};
 
 inline void title(const std::string& experiment, const std::string& claim) {
   std::printf("\n=== %s ===\n", experiment.c_str());

@@ -30,13 +30,14 @@ void RateProbe::run(Rate rate, SimDuration duration, std::uint8_t tos,
   auto sent = std::make_shared<int>(0);
   Simulator& sim = sender_->sim();
   for (int i = 0; i < total; ++i) {
-    sim.schedule_after(interval * i, [this, payload, tos, sent] {
+    sim.schedule_after(interval * i, SimCategory::kWorkload, [this, payload, tos, sent] {
       sender_->send_udp(sink_->addr(), src_port_, sink_port_, payload, tos);
       ++*sent;
     });
   }
   const double offered_mbps = rate.mbps_value();
-  sim.schedule_after(duration + seconds(1), [this, done = std::move(done),
+  sim.schedule_after(duration + seconds(1), SimCategory::kWorkload,
+                     [this, done = std::move(done),
                                              offered_mbps, duration, total] {
     Result r;
     r.offered_mbps = offered_mbps;

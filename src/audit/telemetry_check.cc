@@ -1,0 +1,73 @@
+#include "audit/telemetry_check.h"
+
+namespace pvn {
+
+std::vector<TelemetryFinding> TelemetryAuditor::check_chain_traversals(
+    const telemetry::MetricsSnapshot& snap, const std::string& chain_id,
+    std::uint64_t verified_proofs) const {
+  std::vector<TelemetryFinding> findings;
+  const telemetry::MetricSample* sample =
+      snap.find("mbox.chain.packets", chain_id);
+  if (sample == nullptr) {
+    if (verified_proofs > 0) {
+      findings.push_back(TelemetryFinding{
+          "chain-missing",
+          "device holds " + std::to_string(verified_proofs) +
+              " path proofs for chain " + chain_id +
+              " but the network reports no telemetry for it"});
+    }
+    return findings;
+  }
+  if (sample->counter_value < verified_proofs) {
+    findings.push_back(TelemetryFinding{
+        "chain-undercount",
+        "network reports " + std::to_string(sample->counter_value) +
+            " packets through chain " + chain_id + " but device verified " +
+            std::to_string(verified_proofs) + " path proofs"});
+  }
+  return findings;
+}
+
+std::vector<TelemetryFinding> TelemetryAuditor::check_dataplane_consistency(
+    const telemetry::MetricsSnapshot& snap) const {
+  std::vector<TelemetryFinding> findings;
+
+  const std::uint64_t link_delivered =
+      snap.counter_total("netsim.link.delivered_packets");
+  const std::uint64_t switch_in = snap.counter_total("sdn.switch.packets_in");
+  if (switch_in > link_delivered) {
+    findings.push_back(TelemetryFinding{
+        "switch-ingress-exceeds-links",
+        "switches report " + std::to_string(switch_in) +
+            " ingress packets but links only delivered " +
+            std::to_string(link_delivered)});
+  }
+
+  const std::uint64_t meter_drops =
+      snap.counter_total("sdn.meter.dropped_packets");
+  const std::uint64_t switch_meter_drops =
+      snap.counter_total("sdn.switch.dropped_meter");
+  if (meter_drops > switch_meter_drops) {
+    findings.push_back(TelemetryFinding{
+        "meter-drop-mismatch",
+        "meters report " + std::to_string(meter_drops) +
+            " drops but switches only attribute " +
+            std::to_string(switch_meter_drops) + " drops to meters"});
+  }
+
+  const std::uint64_t lookups = snap.counter_total("sdn.flow_table.hits") +
+                                snap.counter_total("sdn.flow_table.misses");
+  const std::uint64_t default_forwarded_ceiling =
+      snap.counter_total("sdn.switch.forwarded");
+  if (lookups + default_forwarded_ceiling < switch_in) {
+    findings.push_back(TelemetryFinding{
+        "lookup-undercount",
+        "switches saw " + std::to_string(switch_in) +
+            " ingress packets but flow tables performed only " +
+            std::to_string(lookups) + " lookups"});
+  }
+
+  return findings;
+}
+
+}  // namespace pvn

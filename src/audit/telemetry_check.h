@@ -1,0 +1,46 @@
+// Telemetry cross-checks for the auditing layer.
+//
+// Path proofs (audit/path_proof.h) let a device prove its packets traversed
+// the deployed chain; the telemetry layer gives the network's own account of
+// the same events. TelemetryAuditor reconciles the two: a dishonest ISP that
+// skips or bypasses a chain (pvn/server.h cheat_skip_module, the paper's
+// §3.3 validation scenario) produces a chain traversal count below the
+// number of proofs the device holds, and internal dataplane accounting
+// identities stop adding up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace pvn {
+
+struct TelemetryFinding {
+  std::string check;   // short id, e.g. "chain-undercount"
+  std::string detail;  // human-readable explanation
+};
+
+class TelemetryAuditor {
+ public:
+  // Cross-checks a device's verified path-proof count for `chain_id`
+  // against the dataplane's own account (`mbox.chain.packets`): the chain
+  // cannot have processed fewer packets than the device holds valid proofs
+  // for. Empty result = consistent.
+  std::vector<TelemetryFinding> check_chain_traversals(
+      const telemetry::MetricsSnapshot& snap, const std::string& chain_id,
+      std::uint64_t verified_proofs) const;
+
+  // Internal consistency identities across layers:
+  //   * every switch ingress packet arrived over some link, so
+  //     sum(netsim.link.delivered_packets) >= sum(sdn.switch.packets_in);
+  //   * the aggregate meter drop count never exceeds the per-switch
+  //     dropped_meter total (the switch also counts missing-meter drops);
+  //   * flow-table hits + misses >= switch ingress (every ingress packet
+  //     performs at least one table lookup unless default-forwarded).
+  std::vector<TelemetryFinding> check_dataplane_consistency(
+      const telemetry::MetricsSnapshot& snap) const;
+};
+
+}  // namespace pvn

@@ -21,46 +21,86 @@ FlowKey FlowKey::reversed() const {
   return key;
 }
 
+Chain::Chain(std::string id, SimDuration per_packet_delay)
+    : id_(std::move(id)), per_packet_delay_(per_packet_delay) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  m_packets_ = &reg.counter("mbox.chain.packets", id_);
+  m_dropped_ = &reg.counter("mbox.chain.dropped", id_);
+  m_findings_ = &reg.counter("mbox.chain.findings", id_);
+  m_latency_ns_ =
+      &reg.histogram("mbox.chain.latency_ns", id_, telemetry::latency_bounds_ns());
+}
+
+void Chain::append(Middlebox* mbox) {
+  modules_.push_back(mbox);
+  auto& reg = telemetry::MetricsRegistry::global();
+  module_cells_.push_back(ModuleCells{
+      &reg.counter("mbox.module.processed", mbox->name()),
+      &reg.counter("mbox.module.dropped", mbox->name())});
+}
+
 std::vector<Packet> Chain::process(Packet pkt, SimTime now,
                                    SimDuration& delay) {
   ++packets_;
+  m_packets_->inc();
   delay = per_packet_delay_;
   std::vector<Packet> injected;
   MboxContext ctx;
   ctx.now = now;
   ctx.findings = &findings_;
   ctx.injected = &injected;
+  const std::size_t findings_before = findings_.size();
 
   bool dropped = false;
-  for (Middlebox* mbox : modules_) {
+  for (std::size_t m = 0; m < modules_.size(); ++m) {
+    Middlebox* mbox = modules_[m];
     ++mbox->packets_seen;
+    module_cells_[m].processed->inc();
     delay += mbox->extra_delay();
     if (mbox->process(pkt, ctx) == Middlebox::Verdict::kDrop) {
       ++mbox->packets_dropped;
+      module_cells_[m].dropped->inc();
       dropped = true;
       break;
     }
   }
+  if (dropped) m_dropped_->inc();
+  m_findings_->inc(findings_.size() - findings_before);
+  m_latency_ns_->observe(static_cast<std::uint64_t>(delay));
   std::vector<Packet> out;
   if (!dropped) out.push_back(std::move(pkt));
   for (Packet& p : injected) out.push_back(std::move(p));
   return out;
 }
 
+MboxHost::MboxHost(Simulator& sim, MboxHostConfig cfg) : sim_(&sim), cfg_(cfg) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  m_instantiations_ = &reg.counter("mbox.host.instantiations");
+  m_instantiation_failures_ = &reg.counter("mbox.host.instantiation_failures");
+  m_crashes_ = &reg.counter("mbox.host.crashes");
+  m_memory_in_use_ = &reg.gauge("mbox.host.memory_in_use");
+  m_instances_ = &reg.gauge("mbox.host.instances");
+}
+
 void MboxHost::instantiate(std::unique_ptr<Middlebox> mbox,
                            std::function<void(Middlebox*)> ready) {
   if (crashed_ ||
       memory_in_use_ + cfg_.memory_per_instance > cfg_.memory_budget) {
-    sim_->schedule_after(0, [ready = std::move(ready)] { ready(nullptr); });
+    m_instantiation_failures_->inc();
+    sim_->schedule_after(0, SimCategory::kMbox,
+                         [ready = std::move(ready)] { ready(nullptr); });
     return;
   }
   memory_in_use_ += cfg_.memory_per_instance;
   Middlebox* raw = mbox.get();
   owned_.push_back(std::move(mbox));
+  m_instantiations_->inc();
+  m_memory_in_use_->set(memory_in_use_);
+  m_instances_->set(static_cast<std::int64_t>(owned_.size()));
   // A crash between now and the readiness event frees the instance; deliver
   // nullptr instead of the dangling pointer in that case.
   const int gen = crashes_;
-  sim_->schedule_after(cfg_.instantiation_delay,
+  sim_->schedule_after(cfg_.instantiation_delay, SimCategory::kMbox,
                        [this, gen, raw, ready = std::move(ready)] {
                          ready(gen == crashes_ ? raw : nullptr);
                        });
@@ -73,6 +113,8 @@ bool MboxHost::destroy(Middlebox* mbox) {
   if (it == owned_.end()) return false;
   owned_.erase(it);
   memory_in_use_ -= cfg_.memory_per_instance;
+  m_memory_in_use_->set(memory_in_use_);
+  m_instances_->set(static_cast<std::int64_t>(owned_.size()));
   return true;
 }
 
@@ -99,6 +141,9 @@ void MboxHost::crash() {
   owned_.clear();
   chains_.clear();
   memory_in_use_ = 0;
+  m_crashes_->inc();
+  m_memory_in_use_->set(0);
+  m_instances_->set(0);
   if (crash_listener_) crash_listener_();
 }
 

@@ -11,6 +11,7 @@
 
 #include "mbox/middlebox.h"
 #include "sdn/switch.h"
+#include "telemetry/metrics.h"
 #include "util/units.h"
 
 namespace pvn {
@@ -25,11 +26,10 @@ struct MboxHostConfig {
 // An ordered set of middlebox instances one PVN's traffic traverses.
 class Chain : public PacketProcessor {
  public:
-  Chain(std::string id, SimDuration per_packet_delay)
-      : id_(std::move(id)), per_packet_delay_(per_packet_delay) {}
+  Chain(std::string id, SimDuration per_packet_delay);
 
   const std::string& id() const { return id_; }
-  void append(Middlebox* mbox) { modules_.push_back(mbox); }
+  void append(Middlebox* mbox);
   const std::vector<Middlebox*>& modules() const { return modules_; }
 
   std::vector<Packet> process(Packet pkt, SimTime now,
@@ -39,17 +39,28 @@ class Chain : public PacketProcessor {
   std::uint64_t packets() const { return packets_; }
 
  private:
+  // Per-module telemetry cells, cached at append() time so process() never
+  // does a registry lookup. Instance label = module name.
+  struct ModuleCells {
+    telemetry::Counter* processed = nullptr;
+    telemetry::Counter* dropped = nullptr;
+  };
+
   std::string id_;
   SimDuration per_packet_delay_;
   std::vector<Middlebox*> modules_;
+  std::vector<ModuleCells> module_cells_;
   std::vector<MboxFinding> findings_;
   std::uint64_t packets_ = 0;
+  telemetry::Counter* m_packets_ = nullptr;
+  telemetry::Counter* m_dropped_ = nullptr;
+  telemetry::Counter* m_findings_ = nullptr;
+  telemetry::Histogram* m_latency_ns_ = nullptr;
 };
 
 class MboxHost {
  public:
-  MboxHost(Simulator& sim, MboxHostConfig cfg = {})
-      : sim_(&sim), cfg_(cfg) {}
+  explicit MboxHost(Simulator& sim, MboxHostConfig cfg = {});
 
   // Instantiates a middlebox (charging instantiation delay + memory).
   // `ready` fires with the instance pointer, or nullptr if the host is out
@@ -92,6 +103,12 @@ class MboxHost {
   bool crashed_ = false;
   int crashes_ = 0;
   std::function<void()> crash_listener_;
+  // Aggregate telemetry (hosts carry no name; one pool per testbed).
+  telemetry::Counter* m_instantiations_ = nullptr;
+  telemetry::Counter* m_instantiation_failures_ = nullptr;
+  telemetry::Counter* m_crashes_ = nullptr;
+  telemetry::Gauge* m_memory_in_use_ = nullptr;
+  telemetry::Gauge* m_instances_ = nullptr;
 };
 
 }  // namespace pvn

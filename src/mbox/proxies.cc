@@ -112,7 +112,7 @@ void TranscodingProxy::on_accept(TcpConnection& client) {
             upstream_, 80, req.path,
             [this, s](const HttpResponse& resp, const FetchTiming&) {
               // Charge the transcoding compute time before replying.
-              sim().schedule_after(cfg_.processing_delay,
+              sim().schedule_after(cfg_.processing_delay, SimCategory::kMbox,
                                    [this, s, resp]() mutable {
                                      const HttpResponse out =
                                          maybe_transcode(std::move(resp));

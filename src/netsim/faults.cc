@@ -1,6 +1,7 @@
 #include "netsim/faults.h"
 
 #include "netsim/node.h"
+#include "telemetry/metrics.h"
 
 namespace pvn {
 
@@ -11,6 +12,9 @@ std::string FaultInjector::link_name(const Link& link) {
 void FaultInjector::record(const std::string& kind,
                            const std::string& target) {
   events_.push_back(FaultEvent{net_->sim().now(), kind, target});
+  telemetry::MetricsRegistry::global()
+      .counter("netsim.faults.events", kind)
+      .inc();
 }
 
 void FaultInjector::fail_link(Link& link) {
@@ -38,20 +42,20 @@ void FaultInjector::restore_node(Node& node) {
 }
 
 void FaultInjector::link_flap(Link& link, SimTime at, SimDuration down_for) {
-  net_->sim().schedule_at(at, [this, &link] { fail_link(link); });
-  net_->sim().schedule_at(at + down_for,
+  net_->sim().schedule_at(at, SimCategory::kFault, [this, &link] { fail_link(link); });
+  net_->sim().schedule_at(at + down_for, SimCategory::kFault,
                           [this, &link] { restore_link(link); });
 }
 
 void FaultInjector::loss_burst(Link& link, SimTime at, SimDuration duration,
                                double loss) {
-  net_->sim().schedule_at(at, [this, &link, duration, loss] {
+  net_->sim().schedule_at(at, SimCategory::kFault, [this, &link, duration, loss] {
     const double previous = link.params().loss;
     link.set_loss(loss);
     record("loss-burst", link_name(link));
     // Scheduled from inside the burst so the restore returns the link to its
     // pre-burst baseline rather than assuming a lossless baseline.
-    net_->sim().schedule_after(duration, [this, &link, previous] {
+    net_->sim().schedule_after(duration, SimCategory::kFault, [this, &link, previous] {
       link.set_loss(previous);
       record("loss-end", link_name(link));
     });
@@ -59,26 +63,26 @@ void FaultInjector::loss_burst(Link& link, SimTime at, SimDuration duration,
 }
 
 void FaultInjector::node_crash(Node& node, SimTime at, SimDuration down_for) {
-  net_->sim().schedule_at(at, [this, &node] { crash_node(node); });
+  net_->sim().schedule_at(at, SimCategory::kFault, [this, &node] { crash_node(node); });
   if (down_for > 0) {
-    net_->sim().schedule_at(at + down_for,
+    net_->sim().schedule_at(at + down_for, SimCategory::kFault,
                             [this, &node] { restore_node(node); });
   }
 }
 
 void FaultInjector::partition(std::vector<Link*> links, SimTime at,
                               SimDuration duration) {
-  net_->sim().schedule_at(at, [this, links] {
+  net_->sim().schedule_at(at, SimCategory::kFault, [this, links] {
     for (Link* link : links) fail_link(*link);
   });
-  net_->sim().schedule_at(at + duration, [this, links] {
+  net_->sim().schedule_at(at + duration, SimCategory::kFault, [this, links] {
     for (Link* link : links) restore_link(*link);
   });
 }
 
 void FaultInjector::random_flaps(Link& link, SimTime from, SimTime until,
                                  SimDuration mean_up, SimDuration mean_down) {
-  net_->sim().schedule_at(from, [this, &link, until, mean_up, mean_down] {
+  net_->sim().schedule_at(from, SimCategory::kFault, [this, &link, until, mean_up, mean_down] {
     flap_once(&link, until, mean_up, mean_down, /*currently_up=*/true);
   });
 }
@@ -92,7 +96,7 @@ void FaultInjector::flap_once(Link* link, SimTime until, SimDuration mean_up,
   const double mean =
       static_cast<double>(currently_up ? mean_up : mean_down);
   const auto hold = static_cast<SimDuration>(rng_.exponential(mean));
-  net_->sim().schedule_after(hold, [this, link, until, mean_up, mean_down,
+  net_->sim().schedule_after(hold, SimCategory::kFault, [this, link, until, mean_up, mean_down,
                                     currently_up] {
     if (currently_up) {
       fail_link(*link);

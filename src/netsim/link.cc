@@ -19,6 +19,18 @@ Link::Link(Network& net, Node& a, Node& b, LinkParams params)
   ab_.to_port = port_b_;
   ba_.to = a_;
   ba_.to_port = port_a_;
+  register_metrics(ab_, a.name() + "->" + b.name());
+  register_metrics(ba_, b.name() + "->" + a.name());
+}
+
+void Link::register_metrics(Direction& dir, const std::string& instance) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  dir.m_delivered_packets =
+      &reg.counter("netsim.link.delivered_packets", instance);
+  dir.m_delivered_bytes = &reg.counter("netsim.link.delivered_bytes", instance);
+  dir.m_dropped_packets = &reg.counter("netsim.link.dropped_packets", instance);
+  dir.m_dropped_bytes = &reg.counter("netsim.link.dropped_bytes", instance);
+  dir.m_queued_bytes = &reg.gauge("netsim.link.queued_bytes", instance);
 }
 
 Node& Link::peer_of(const Node& n) const {
@@ -42,6 +54,8 @@ void Link::transmit(const Node& from, Packet pkt) {
   Direction& dir = direction_from(from);
   if (!up_) {
     ++dir.stats.down_drops;
+    dir.m_dropped_packets->inc();
+    dir.m_dropped_bytes->inc(pkt.size());
     return;
   }
   const std::int64_t sz = static_cast<std::int64_t>(pkt.size());
@@ -54,9 +68,12 @@ void Link::transmit(const Node& from, Packet pkt) {
   if (dir.busy_until > now) {
     if (dir.queued_bytes + sz > params_.queue_bytes) {
       ++dir.stats.queue_drops;
+      dir.m_dropped_packets->inc();
+      dir.m_dropped_bytes->inc(pkt.size());
       return;
     }
     dir.queued_bytes += sz;
+    dir.m_queued_bytes->set(dir.queued_bytes);
   }
   start_transmit(dir, std::move(pkt));
 }
@@ -75,29 +92,40 @@ void Link::start_transmit(Direction& dir, Packet pkt) {
 
   const std::int64_t sz = static_cast<std::int64_t>(pkt.size());
   const bool lost = rng_.bernoulli(params_.loss);
-  if (lost) ++dir.stats.loss_drops;
+  if (lost) {
+    ++dir.stats.loss_drops;
+    dir.m_dropped_packets->inc();
+    dir.m_dropped_bytes->inc(pkt.size());
+  }
 
   Direction* dptr = &dir;
   Node* from = (dptr == &ab_) ? a_ : b_;
   if (start > now) {
     // Queue occupancy drops once the packet has fully serialized.
-    sim.schedule_at(dir.busy_until, [dptr, sz] { dptr->queued_bytes -= sz; });
+    sim.schedule_at(dir.busy_until, SimCategory::kLink, [dptr, sz] {
+      dptr->queued_bytes -= sz;
+      dptr->m_queued_bytes->set(dptr->queued_bytes);
+    });
   }
   auto deliver = [this, dptr, pkt = std::move(pkt), lost, from]() mutable {
     if (lost) return;
     if (!dptr->to->is_up()) {
       ++dptr->stats.down_drops;
       ++dptr->to->down_drops_;
+      dptr->m_dropped_packets->inc();
+      dptr->m_dropped_bytes->inc(pkt.size());
       return;
     }
     ++dptr->stats.delivered_packets;
-    if (tap_) tap_(pkt, *from, *dptr->to);
+    dptr->m_delivered_packets->inc();
+    dptr->m_delivered_bytes->inc(pkt.size());
+    for (const Tap& tap : taps_) tap(pkt, *from, *dptr->to);
     dptr->to->handle_packet(std::move(pkt), dptr->to_port);
   };
   // The per-hop delivery callback is the hottest event in the simulator; it
   // must fit EventFn's inline buffer so delivery never heap-allocates.
   static_assert(sizeof(deliver) <= EventFn::kInlineSize);
-  sim.schedule_at(arrive, std::move(deliver));
+  sim.schedule_at(arrive, SimCategory::kLink, std::move(deliver));
 }
 
 }  // namespace pvn

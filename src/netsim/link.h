@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "netsim/packet.h"
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -58,7 +60,18 @@ class Link {
   void transmit(const Node& from, Packet pkt);
 
   const LinkStats& stats_from(const Node& n) const;
-  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  // Taps chain: every registered tap observes every delivered packet, in
+  // registration order. A trace collector and a fault-injector/attacker
+  // observer can therefore share a link.
+  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+  // Replaces ALL taps with `tap` (legacy single-observer semantics).
+  void set_tap(Tap tap) {
+    taps_.clear();
+    taps_.push_back(std::move(tap));
+  }
+  void clear_taps() { taps_.clear(); }
+  std::size_t tap_count() const { return taps_.size(); }
 
  private:
   struct Direction {
@@ -67,10 +80,18 @@ class Link {
     SimTime busy_until = 0;
     std::int64_t queued_bytes = 0;
     LinkStats stats;
+    // Telemetry cells (telemetry/metrics.h), registered once per direction
+    // under instance "<from>-><to>"; raw pointer increments on the hot path.
+    telemetry::Counter* m_delivered_packets = nullptr;
+    telemetry::Counter* m_delivered_bytes = nullptr;
+    telemetry::Counter* m_dropped_packets = nullptr;
+    telemetry::Counter* m_dropped_bytes = nullptr;
+    telemetry::Gauge* m_queued_bytes = nullptr;
   };
 
   Direction& direction_from(const Node& from);
   void start_transmit(Direction& dir, Packet pkt);
+  void register_metrics(Direction& dir, const std::string& instance);
 
   Network* net_;
   Node* a_;
@@ -82,7 +103,7 @@ class Link {
   Direction ab_;  // a_ -> b_
   Direction ba_;  // b_ -> a_
   Rng rng_;
-  Tap tap_;
+  std::vector<Tap> taps_;
 };
 
 }  // namespace pvn

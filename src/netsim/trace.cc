@@ -5,7 +5,9 @@
 namespace pvn {
 
 void TraceCollector::attach(Link& link) {
-  link.set_tap([this](const Packet& pkt, const Node& from, const Node& to) {
+  // add_tap (not set_tap): attaching a collector must not evict other
+  // observers already on the link, e.g. a fault-injector or attacker tap.
+  link.add_tap([this](const Packet& pkt, const Node& from, const Node& to) {
     records_.push_back(TraceRecord{sim_->now(), pkt.id, from.name(), to.name(),
                                    pkt.ip.src, pkt.ip.dst, pkt.ip.proto,
                                    pkt.size()});

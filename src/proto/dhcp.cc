@@ -117,7 +117,7 @@ void DhcpClient::acquire(Ipv4Addr server, Callback cb, SimDuration timeout) {
   discover.client_id = digest_of(host_->name()).lanes[0];
   host_->send_udp(server_, kDhcpClientPort, kDhcpServerPort, discover.encode());
 
-  timeout_event_ = host_->sim().schedule_after(timeout, [this] {
+  timeout_event_ = host_->sim().schedule_after(timeout, SimCategory::kProto, [this] {
     timeout_event_ = kInvalidEventId;
     finish(DhcpLease{});
   });

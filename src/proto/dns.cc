@@ -142,7 +142,7 @@ void StubResolver::resolve(const std::string& name, Callback cb, int quorum,
                     kDnsPort, wire);
     ++queries_sent_;
   }
-  p.timeout_event = host_->sim().schedule_after(timeout, [this, id] {
+  p.timeout_event = host_->sim().schedule_after(timeout, SimCategory::kProto, [this, id] {
     const auto it = pending_.find(id);
     if (it == pending_.end()) return;
     it->second.timeout_event = kInvalidEventId;

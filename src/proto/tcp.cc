@@ -171,7 +171,7 @@ void TcpConnection::send_ack() { send_segment(kTcpAck, snd_nxt_, {}, false); }
 
 void TcpConnection::arm_rto() {
   cancel_rto();
-  rto_event_ = host_->sim().schedule_after(rto_, [this] {
+  rto_event_ = host_->sim().schedule_after(rto_, SimCategory::kProto, [this] {
     rto_event_ = kInvalidEventId;
     on_rto();
   });

@@ -23,6 +23,18 @@ PvnClient::PvnClient(Host& host, Pvnc pvnc, ClientConfig cfg)
       pvnc_(std::move(pvnc)),
       cfg_(std::move(cfg)),
       rng_(host.network().rng().fork()) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  m_discovery_rounds_ = &reg.counter("pvn.client.discovery_rounds");
+  m_offers_received_ = &reg.counter("pvn.client.offers_received");
+  m_deploys_ok_ = &reg.counter("pvn.client.deploys_ok");
+  m_deploys_failed_ = &reg.counter("pvn.client.deploys_failed");
+  m_retransmissions_ = &reg.counter("pvn.client.deploy_retransmissions");
+  m_offer_expiries_ = &reg.counter("pvn.client.offer_expiries");
+  m_failovers_ = &reg.counter("pvn.client.failovers");
+  m_recoveries_ = &reg.counter("pvn.client.recoveries");
+  m_renews_sent_ = &reg.counter("pvn.client.renews_sent");
+  m_renews_acked_ = &reg.counter("pvn.client.renews_acked");
+  telemetry::SpanRecorder::global().set_clock(&host_->sim());
   host_->bind_udp(local_port_, [this](Ipv4Addr, Port, Port,
                                       const Bytes& payload) {
     on_packet(payload);
@@ -62,6 +74,8 @@ void PvnClient::discover_and_deploy(Ipv4Addr server, DoneCallback done) {
   deploy_attempt_ = 0;
   outcome_ = DeployOutcome{};
   done_ = std::move(done);
+  cycle_span_ = telemetry::SpanRecorder::global().start("deploy_cycle", "pvn",
+                                                        pvnc_.name);
   start_discovery_round();
 }
 
@@ -70,6 +84,9 @@ void PvnClient::start_discovery_round() {
   // attempts: the tunnel is still carrying traffic until a deploy lands.
   if (session_ && !in_fallback_) set_state(SessionState::kDiscovering);
   ++discovery_round_;
+  m_discovery_rounds_->inc();
+  phase_span_ = telemetry::SpanRecorder::global().start("discovery", "pvn",
+                                                        pvnc_.name);
   outcome_.discovery_rounds = discovery_round_;
   offers_.clear();
   outcome_.offers_received = 0;
@@ -89,7 +106,7 @@ void PvnClient::start_discovery_round() {
   const SimDuration wait = discovery_round_ == 1
                                ? cfg_.offer_wait
                                : jittered(cfg_.offer_wait, discovery_round_);
-  collect_timer_ = host_->sim().schedule_after(wait, [this] {
+  collect_timer_ = host_->sim().schedule_after(wait, SimCategory::kPvnControl, [this] {
     collect_timer_ = kInvalidEventId;
     on_offers_collected();
   });
@@ -118,6 +135,7 @@ void PvnClient::on_packet(const Bytes& payload) {
       if (offer && offer->seq == seq_ && !awaiting_ack_) {
         offers_.push_back(*offer);
         ++outcome_.offers_received;
+        m_offers_received_->inc();
       }
       break;
     }
@@ -147,6 +165,7 @@ void PvnClient::on_packet(const Bytes& payload) {
 
 void PvnClient::on_offers_collected() {
   if (!in_progress_ || awaiting_ack_) return;
+  phase_span_.finish();  // discovery phase ends when offers are evaluated
   if (offers_.empty() &&
       discovery_round_ < cfg_.retry.max_discovery_rounds) {
     start_discovery_round();  // retransmit: the discovery may have been lost
@@ -161,6 +180,8 @@ void PvnClient::on_offers_collected() {
     return;
   }
   chosen_offer_ = offers_[static_cast<std::size_t>(best)];
+  telemetry::Span negotiate_span = telemetry::SpanRecorder::global().start(
+      "negotiate", "pvn", pvnc_.name);
   const NegotiationResult negotiated = evaluate_offer(
       chosen_offer_, requested, cfg_.constraints, host_->sim().now());
 
@@ -182,13 +203,16 @@ void PvnClient::on_offers_collected() {
   outcome_.utility = negotiated.utility;
   outcome_.deployed_modules = req.pvnc.module_names();
 
+  negotiate_span.finish();
   deploy_bytes_ = wrap(PvnMsgType::kDeployRequest, req.encode());
   deploy_attempt_ = 0;
   awaiting_ack_ = true;
+  phase_span_ = telemetry::SpanRecorder::global().start("deploy", "pvn",
+                                                        pvnc_.name);
   if (session_ && !in_fallback_) set_state(SessionState::kDeploying);
 
   // Overall deadline, independent of per-attempt retransmission timers.
-  deadline_timer_ = host_->sim().schedule_after(cfg_.deploy_timeout, [this] {
+  deadline_timer_ = host_->sim().schedule_after(cfg_.deploy_timeout, SimCategory::kPvnControl, [this] {
     deadline_timer_ = kInvalidEventId;
     if (!in_progress_) return;
     fail("deploy timeout");
@@ -201,6 +225,9 @@ void PvnClient::send_deploy_request() {
   // against it would only earn a nack, so restart discovery instead.
   if (chosen_offer_.expires_at != 0 &&
       host_->sim().now() > chosen_offer_.expires_at) {
+    m_offer_expiries_->inc();
+    telemetry::SpanRecorder::global().instant("offer_expired", "pvn",
+                                              pvnc_.name);
     awaiting_ack_ = false;
     cancel_timer(deadline_timer_);
     if (discovery_round_ < cfg_.retry.max_discovery_rounds) {
@@ -212,14 +239,20 @@ void PvnClient::send_deploy_request() {
   }
   ++deploy_attempt_;
   outcome_.deploy_attempts = deploy_attempt_;
-  if (deploy_attempt_ > 1) ++retransmissions_;
+  if (deploy_attempt_ > 1) {
+    ++retransmissions_;
+    m_retransmissions_->inc();
+    telemetry::SpanRecorder::global().instant("retransmit", "pvn",
+                                              pvnc_.name);
+  }
   host_->send_udp(chosen_offer_.deployment_server, local_port_, kPvnPort,
                   deploy_bytes_);
   ++outcome_.messages_sent;
 
   if (deploy_attempt_ >= cfg_.retry.max_deploy_attempts) return;  // deadline decides
   rto_timer_ = host_->sim().schedule_after(
-      jittered(cfg_.retry.deploy_rto, deploy_attempt_), [this] {
+      jittered(cfg_.retry.deploy_rto, deploy_attempt_),
+      SimCategory::kPvnControl, [this] {
         rto_timer_ = kInvalidEventId;
         if (!in_progress_ || !awaiting_ack_) return;
         send_deploy_request();
@@ -238,6 +271,9 @@ void PvnClient::finish(DeployOutcome outcome) {
   cancel_timer(deadline_timer_);
   in_progress_ = false;
   awaiting_ack_ = false;
+  (outcome.ok ? m_deploys_ok_ : m_deploys_failed_)->inc();
+  phase_span_.finish();
+  cycle_span_.finish();
   outcome.elapsed = host_->sim().now() - started_;
   if (done_) {
     // Move out first: the callback may start a new cycle (session retry).
@@ -266,6 +302,7 @@ void PvnClient::start_session(Ipv4Addr server, DoneCallback done) {
 
 void PvnClient::stop_session() {
   session_ = false;
+  lease_span_.finish();
   cancel_timer(renew_timer_);
   cancel_timer(fallback_timer_);
   renew_misses_ = 0;
@@ -300,12 +337,16 @@ void PvnClient::enter_active(const DeployOutcome& outcome) {
   if (in_fallback_) {
     in_fallback_ = false;
     ++recoveries_;
+    m_recoveries_->inc();
+    telemetry::SpanRecorder::global().instant("recovery", "pvn", pvnc_.name);
   }
   if (fallback_ != nullptr && fallback_->active()) fallback_->disable();
   set_state(SessionState::kActive);
+  lease_span_ =
+      telemetry::SpanRecorder::global().start("lease", "pvn", pvnc_.name);
   if (lease_ > 0) {
     const int div = std::max(1, cfg_.session.renew_divisor);
-    renew_timer_ = host_->sim().schedule_after(lease_ / div, [this] {
+    renew_timer_ = host_->sim().schedule_after(lease_ / div, SimCategory::kPvnControl, [this] {
       renew_timer_ = kInvalidEventId;
       send_renew();
     });
@@ -315,9 +356,12 @@ void PvnClient::enter_active(const DeployOutcome& outcome) {
 void PvnClient::enter_fallback() {
   cancel_timer(renew_timer_);
   chain_id_.clear();
+  lease_span_.finish();
   if (!in_fallback_) {
     in_fallback_ = true;
     ++failovers_;
+    m_failovers_->inc();
+    telemetry::SpanRecorder::global().instant("failover", "pvn", pvnc_.name);
     if (fallback_ != nullptr) fallback_->enable();
     set_state(SessionState::kFallback);
     fallback_delay_ = cfg_.session.fallback_retry;
@@ -332,7 +376,7 @@ void PvnClient::enter_fallback() {
     delay = static_cast<SimDuration>(static_cast<double>(delay) *
                                      rng_.uniform(1.0 - j, 1.0 + j));
   }
-  fallback_timer_ = host_->sim().schedule_after(delay, [this] {
+  fallback_timer_ = host_->sim().schedule_after(delay, SimCategory::kPvnControl, [this] {
     fallback_timer_ = kInvalidEventId;
     session_cycle();
   });
@@ -352,9 +396,10 @@ void PvnClient::send_renew() {
   host_->send_udp(server_, local_port_, kPvnPort,
                   wrap(PvnMsgType::kLeaseRenew, renew.encode()));
   ++renews_sent_;
+  m_renews_sent_->inc();
   ++renew_misses_;  // cleared when the ack arrives
   const int div = std::max(1, cfg_.session.renew_divisor);
-  renew_timer_ = host_->sim().schedule_after(lease_ / div, [this] {
+  renew_timer_ = host_->sim().schedule_after(lease_ / div, SimCategory::kPvnControl, [this] {
     renew_timer_ = kInvalidEventId;
     send_renew();
   });
@@ -370,6 +415,7 @@ void PvnClient::on_lease_ack(const LeaseAck& ack) {
   }
   renew_misses_ = 0;
   renews_acked_ += 1;
+  m_renews_acked_->inc();
   if (ack.lease_duration > 0) lease_ = ack.lease_duration;
   degraded_modules_ = ack.degraded_modules;
 }

@@ -18,6 +18,8 @@
 
 #include "proto/host.h"
 #include "pvn/negotiation.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/rng.h"
 
 namespace pvn {
@@ -188,6 +190,22 @@ class PvnClient {
   std::uint64_t recoveries_ = 0;
   std::uint64_t renews_sent_ = 0;
   std::uint64_t renews_acked_ = 0;
+
+  // Telemetry: aggregate control-plane counters plus the spans currently
+  // open for this client's session track (session id = device id).
+  telemetry::Counter* m_discovery_rounds_ = nullptr;
+  telemetry::Counter* m_offers_received_ = nullptr;
+  telemetry::Counter* m_deploys_ok_ = nullptr;
+  telemetry::Counter* m_deploys_failed_ = nullptr;
+  telemetry::Counter* m_retransmissions_ = nullptr;
+  telemetry::Counter* m_offer_expiries_ = nullptr;
+  telemetry::Counter* m_failovers_ = nullptr;
+  telemetry::Counter* m_recoveries_ = nullptr;
+  telemetry::Counter* m_renews_sent_ = nullptr;
+  telemetry::Counter* m_renews_acked_ = nullptr;
+  telemetry::Span cycle_span_;  // discover_and_deploy -> finish
+  telemetry::Span phase_span_;  // current phase: discovery or deploy
+  telemetry::Span lease_span_;  // active lease: enter_active -> loss/stop
 };
 
 }  // namespace pvn

@@ -15,6 +15,17 @@ DeploymentServer::DeploymentServer(Host& host, PvnStore& store,
       controller_(&controller),
       ledger_(&ledger),
       cfg_(std::move(cfg)) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  m_discoveries_ = &reg.counter("pvn.server.discoveries");
+  m_offers_sent_ = &reg.counter("pvn.server.offers_sent");
+  m_deploys_ = &reg.counter("pvn.server.deploys");
+  m_nacks_ = &reg.counter("pvn.server.nacks");
+  m_duplicate_deploys_ = &reg.counter("pvn.server.duplicate_deploys");
+  m_leases_renewed_ = &reg.counter("pvn.server.leases_renewed");
+  m_leases_expired_ = &reg.counter("pvn.server.leases_expired");
+  m_degraded_ = &reg.counter("pvn.server.degraded");
+  m_chains_lost_ = &reg.counter("pvn.server.chains_lost");
+  telemetry::SpanRecorder::global().set_clock(&host_->sim());
   host_->bind_udp(kPvnPort, [this](Ipv4Addr src, Port sport, Port,
                                    const Bytes& payload) {
     on_packet(src, sport, payload);
@@ -65,6 +76,7 @@ void DeploymentServer::on_packet(Ipv4Addr src, Port sport,
 void DeploymentServer::handle_discovery(Ipv4Addr src, Port sport,
                                         const DiscoveryMessage& dm) {
   ++discoveries_;
+  m_discoveries_->inc();
   // Standards must intersect.
   bool standards_ok = false;
   for (const std::string& s : dm.standards) {
@@ -91,6 +103,7 @@ void DeploymentServer::handle_discovery(Ipv4Addr src, Port sport,
   offer.total_price =
       store_->price_of(offer.offered_modules) * cfg_.price_multiplier;
   offer.expires_at = host_->sim().now() + cfg_.offer_ttl;
+  m_offers_sent_->inc();
   host_->send_udp(src, kPvnPort, sport,
                   wrap(PvnMsgType::kOffer, offer.encode()));
 }
@@ -98,6 +111,7 @@ void DeploymentServer::handle_discovery(Ipv4Addr src, Port sport,
 void DeploymentServer::nack(Ipv4Addr dst, Port dport, std::uint32_t seq,
                             const std::string& reason) {
   ++nacks_;
+  m_nacks_->inc();
   DeployNack nack_msg;
   nack_msg.seq = seq;
   nack_msg.reason = reason;
@@ -159,12 +173,14 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
       it->second.request_bytes == req_bytes &&
       !it->second.ack_bytes.empty()) {
     ++duplicates_;
+    m_duplicate_deploys_->inc();
     host_->send_udp(src, kPvnPort, sport, it->second.ack_bytes);
     return;
   }
   if (const auto p = pending_.find(req.device_id);
       p != pending_.end() && p->second == req_bytes) {
     ++duplicates_;
+    m_duplicate_deploys_->inc();
     return;  // the in-flight deployment will answer
   }
   // Validate against the store.
@@ -201,6 +217,13 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
   // Tear down any previous deployment for this device.
   teardown_device(req.device_id);
 
+  // Spans the instantiate -> compile -> program-switch -> ack pipeline on
+  // the server's side of the session track. shared_ptr: the continuations
+  // live in copyable std::functions, and Span is move-only.
+  auto deploy_span = std::make_shared<telemetry::Span>(
+      telemetry::SpanRecorder::global().start("server_deploy", "pvn",
+                                              req.device_id));
+
   const std::string chain_id =
       "chain:" + req.device_id + ":" + std::to_string(chain_seq_++);
   const std::string cookie = "pvn:" + req.device_id;
@@ -223,8 +246,10 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
   Chain& chain = mbox_host_->create_chain(chain_id);
 
   const auto finish = [this, src, sport, req, deployment, chain_id, cookie,
-                       price, &chain]() {
+                       price, deploy_span, &chain]() {
     // Program the switch.
+    telemetry::Span compile_span = telemetry::SpanRecorder::global().start(
+        "compile", "pvn", req.device_id);
     DeploymentContext ctx;
     ctx.device = src;
     ctx.client_port = cfg_.client_port_for ? cfg_.client_port_for(src)
@@ -235,11 +260,13 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
     ctx.control = host_->addr();
     ctx.control_port = cfg_.switch_control_port;
     const CompiledPvnc compiled = compile_pvnc(req.pvnc, ctx);
+    compile_span.finish();
 
     SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name);
     if (sw == nullptr) {
       pending_.erase(req.device_id);
       nack(src, sport, req.seq, "no dataplane");
+      deploy_span->finish();
       return;
     }
     sw->register_processor(chain_id, &chain);
@@ -247,7 +274,8 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
       controller_->add_meter(cfg_.switch_name, meter.id, meter.rate,
                              meter.burst_bytes);
     }
-    const auto ack_deployment = [this, src, sport, req, deployment, price] {
+    const auto ack_deployment = [this, src, sport, req, deployment, price,
+                                 deploy_span] {
       if (cfg_.lease_duration > 0) {
         deployment->expires_at = host_->sim().now() + cfg_.lease_duration;
       }
@@ -259,11 +287,13 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
       deployments_[req.device_id] = *deployment;
       pending_.erase(req.device_id);
       ++deploy_count_;
+      m_deploys_->inc();
       if (price > 0.0) {
         ledger_->charge(host_->sim().now(), req.device_id, cfg_.network_name,
                         price, "pvn deployment " + deployment->chain_id);
       }
       host_->send_udp(src, kPvnPort, sport, deployment->ack_bytes);
+      deploy_span->finish();
       arm_sweep();
     };
     auto pending = std::make_shared<int>(static_cast<int>(compiled.rules.size()));
@@ -294,12 +324,13 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
     if (instance == nullptr) {
       pending_.erase(req.device_id);
       nack(src, sport, req.seq, "cannot instantiate " + module.store_name);
+      deploy_span->finish();
       return;
     }
     mbox_host_->instantiate(
         std::move(instance),
-        [this, remaining, failed, deployment, finish, src, sport,
-         req](Middlebox* mbox) {
+        [this, remaining, failed, deployment, finish, src, sport, req,
+         deploy_span](Middlebox* mbox) {
           if (*failed) return;
           if (mbox == nullptr) {
             *failed = true;
@@ -307,6 +338,7 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
             nack(src, sport, req.seq,
                  mbox_host_->crashed() ? "middlebox host unavailable"
                                        : "out of middlebox memory");
+            deploy_span->finish();
             return;
           }
           deployment->instances.push_back(mbox);
@@ -364,6 +396,7 @@ void DeploymentServer::handle_renew(Ipv4Addr src, Port sport,
     }
     if (dep.degraded) ack.degraded_modules = dep.module_names;
     ++renews_;
+    m_leases_renewed_->inc();
   }
   host_->send_udp(src, kPvnPort, sport,
                   wrap(PvnMsgType::kLeaseAck, ack.encode()));
@@ -395,10 +428,15 @@ void DeploymentServer::on_mbox_crash() {
       dep.degraded = true;
       controller_->bypass_chain(dep.cookie, dep.chain_id);
       ++degraded_;
+      m_degraded_->inc();
+      telemetry::SpanRecorder::global().instant("chain_degraded", "pvn",
+                                                device_id);
     }
   }
   for (const std::string& device_id : to_teardown) {
     ++chains_lost_;
+    m_chains_lost_->inc();
+    telemetry::SpanRecorder::global().instant("chain_lost", "pvn", device_id);
     teardown_device(device_id);
   }
 }
@@ -408,7 +446,7 @@ void DeploymentServer::arm_sweep() {
   if (deployments_.empty()) return;
   // Sweep granularity of lease/4 bounds how stale an expired deployment
   // can linger at one quarter-lease.
-  sweep_timer_ = host_->sim().schedule_after(cfg_.lease_duration / 4, [this] {
+  sweep_timer_ = host_->sim().schedule_after(cfg_.lease_duration / 4, SimCategory::kPvnControl, [this] {
     sweep_timer_ = kInvalidEventId;
     sweep();
   });
@@ -424,6 +462,9 @@ void DeploymentServer::sweep() {
   }
   for (const std::string& device_id : expired) {
     ++leases_expired_;
+    m_leases_expired_->inc();
+    telemetry::SpanRecorder::global().instant("lease_expired", "pvn",
+                                              device_id);
     teardown_device(device_id);
   }
   arm_sweep();

@@ -33,6 +33,8 @@
 #include "pvn/compiler.h"
 #include "pvn/discovery.h"
 #include "sdn/controller.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace pvn {
 
@@ -139,6 +141,16 @@ class DeploymentServer {
   EventId sweep_timer_ = kInvalidEventId;
   std::string skip_module_;
   bool drop_deploys_ = false;
+  // Telemetry: aggregate server-side control-plane counters.
+  telemetry::Counter* m_discoveries_ = nullptr;
+  telemetry::Counter* m_offers_sent_ = nullptr;
+  telemetry::Counter* m_deploys_ = nullptr;
+  telemetry::Counter* m_nacks_ = nullptr;
+  telemetry::Counter* m_duplicate_deploys_ = nullptr;
+  telemetry::Counter* m_leases_renewed_ = nullptr;
+  telemetry::Counter* m_leases_expired_ = nullptr;
+  telemetry::Counter* m_degraded_ = nullptr;
+  telemetry::Counter* m_chains_lost_ = nullptr;
   std::unique_ptr<class HttpClient> http_;  // for pvnc:// URI resolution
 };
 

@@ -9,7 +9,7 @@ SdnSwitch* Controller::switch_by_name(const std::string& name) {
 
 void Controller::install_rule(const std::string& switch_name, int table,
                               FlowRule rule, std::function<void(bool)> done) {
-  sim_->schedule_after(control_rtt_, [this, switch_name, table,
+  sim_->schedule_after(control_rtt_, SimCategory::kPvnControl, [this, switch_name, table,
                                       rule = std::move(rule),
                                       done = std::move(done)]() mutable {
     SdnSwitch* sw = switch_by_name(switch_name);
@@ -25,7 +25,7 @@ void Controller::install_rule(const std::string& switch_name, int table,
 
 void Controller::remove_by_cookie(const std::string& cookie,
                                   std::function<void(std::size_t)> done) {
-  sim_->schedule_after(control_rtt_, [this, cookie, done = std::move(done)] {
+  sim_->schedule_after(control_rtt_, SimCategory::kPvnControl, [this, cookie, done = std::move(done)] {
     std::size_t removed = 0;
     for (auto& [name, sw] : switches_) {
       for (int t = 0; t < sw->table_count(); ++t) {
@@ -39,7 +39,7 @@ void Controller::remove_by_cookie(const std::string& cookie,
 void Controller::bypass_chain(const std::string& cookie,
                               const std::string& chain_id,
                               std::function<void(std::size_t)> done) {
-  sim_->schedule_after(control_rtt_, [this, cookie, chain_id,
+  sim_->schedule_after(control_rtt_, SimCategory::kPvnControl, [this, cookie, chain_id,
                                       done = std::move(done)] {
     std::size_t removed = 0;
     const auto diverts_into_chain = [&](const FlowRule& rule) {
@@ -65,7 +65,7 @@ void Controller::add_meter(const std::string& switch_name,
                            const std::string& meter_id, Rate rate,
                            std::int64_t burst_bytes,
                            std::function<void(bool)> done) {
-  sim_->schedule_after(control_rtt_, [this, switch_name, meter_id, rate,
+  sim_->schedule_after(control_rtt_, SimCategory::kPvnControl, [this, switch_name, meter_id, rate,
                                       burst_bytes, done = std::move(done)] {
     SdnSwitch* sw = switch_by_name(switch_name);
     if (sw == nullptr) {

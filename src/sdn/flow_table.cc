@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
 #include "util/hash.h"
 
 namespace pvn {
+namespace {
+
+// Aggregate (all tables) telemetry cells; per-switch breakdowns live in
+// SdnSwitch, which knows its own name. Function-local statics: registered
+// once, the references stay valid for the registry's lifetime.
+telemetry::Counter& hits_counter() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::global().counter("sdn.flow_table.hits");
+  return c;
+}
+telemetry::Counter& misses_counter() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::global().counter("sdn.flow_table.misses");
+  return c;
+}
+telemetry::Counter& removed_counter() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::global().counter("sdn.flow_table.removed");
+  return c;
+}
+
+}  // namespace
 
 std::size_t FlowTable::ExactKeyHash::operator()(
     const ExactKey& k) const noexcept {
@@ -50,7 +73,10 @@ std::size_t FlowTable::remove_if(
       ++removed;
     }
   }
-  if (removed > 0) index_dirty_ = true;
+  if (removed > 0) {
+    index_dirty_ = true;
+    removed_counter().inc(removed);
+  }
   return removed;
 }
 
@@ -162,10 +188,12 @@ const FlowRule* FlowTable::lookup(const Packet& pkt, int in_port) const {
       const FlowRule& rule = rules_[best];
       ++rule.hit_packets;
       rule.hit_bytes += pkt.size();
+      hits_counter().inc();
       return &rule;
     }
   }
   ++misses_;
+  misses_counter().inc();
   return nullptr;
 }
 

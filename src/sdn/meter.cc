@@ -1,6 +1,22 @@
 #include "sdn/meter.h"
 
+#include "telemetry/metrics.h"
+
 namespace pvn {
+namespace {
+
+telemetry::Counter& passed_counter() {
+  static telemetry::Counter& c = telemetry::MetricsRegistry::global().counter(
+      "sdn.meter.passed_packets");
+  return c;
+}
+telemetry::Counter& dropped_counter() {
+  static telemetry::Counter& c = telemetry::MetricsRegistry::global().counter(
+      "sdn.meter.dropped_packets");
+  return c;
+}
+
+}  // namespace
 
 void Meter::refill(SimTime now) {
   if (now <= last_refill_) return;
@@ -17,9 +33,11 @@ bool Meter::conforms(std::int64_t bytes, SimTime now) {
   if (tokens_ >= static_cast<double>(bytes)) {
     tokens_ -= static_cast<double>(bytes);
     ++passed_;
+    passed_counter().inc();
     return true;
   }
   ++dropped_;
+  dropped_counter().inc();
   return false;
 }
 

@@ -28,7 +28,17 @@ std::string to_string(const Action& action) {
 
 SdnSwitch::SdnSwitch(Network& net, std::string name, int num_tables)
     : Node(net, std::move(name)),
-      tables_(static_cast<std::size_t>(num_tables < 1 ? 1 : num_tables)) {}
+      tables_(static_cast<std::size_t>(num_tables < 1 ? 1 : num_tables)) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  const std::string& inst = this->name();
+  m_packets_in_ = &reg.counter("sdn.switch.packets_in", inst);
+  m_forwarded_ = &reg.counter("sdn.switch.forwarded", inst);
+  m_dropped_rule_ = &reg.counter("sdn.switch.dropped_rule", inst);
+  m_dropped_miss_ = &reg.counter("sdn.switch.dropped_miss", inst);
+  m_dropped_meter_ = &reg.counter("sdn.switch.dropped_meter", inst);
+  m_diverted_mbox_ = &reg.counter("sdn.switch.diverted_mbox", inst);
+  m_tunneled_ = &reg.counter("sdn.switch.tunneled", inst);
+}
 
 void SdnSwitch::add_meter(const std::string& id, Rate rate,
                           std::int64_t burst_bytes) {
@@ -51,8 +61,9 @@ void SdnSwitch::unregister_processor(const std::string& chain_id) {
 
 void SdnSwitch::handle_packet(Packet pkt, int in_port) {
   ++stats_.packets_in;
+  m_packets_in_->inc();
   if (pipeline_latency_ > 0) {
-    sim().schedule_after(pipeline_latency_,
+    sim().schedule_after(pipeline_latency_, SimCategory::kSwitch,
                          [this, pkt = std::move(pkt), in_port]() mutable {
                            run_pipeline(std::move(pkt), in_port, 0);
                          });
@@ -64,6 +75,7 @@ void SdnSwitch::handle_packet(Packet pkt, int in_port) {
 void SdnSwitch::run_pipeline(Packet pkt, int in_port, int table_index) {
   if (table_index >= table_count()) {
     ++stats_.dropped_miss;
+    m_dropped_miss_->inc();
     return;
   }
   const FlowRule* rule =
@@ -71,9 +83,11 @@ void SdnSwitch::run_pipeline(Packet pkt, int in_port, int table_index) {
   if (rule == nullptr) {
     if (table_index == 0 && default_port_) {
       ++stats_.forwarded;
+      m_forwarded_->inc();
       send(*default_port_, std::move(pkt));
     } else {
       ++stats_.dropped_miss;
+      m_dropped_miss_->inc();
     }
     return;
   }
@@ -86,11 +100,13 @@ void SdnSwitch::execute(const ActionList& actions, std::size_t start,
     const Action& action = actions[i];
     if (const auto* out = std::get_if<ActOutput>(&action)) {
       ++stats_.forwarded;
+      m_forwarded_->inc();
       send(out->port, std::move(pkt));
       return;
     }
     if (std::get_if<ActDrop>(&action) != nullptr) {
       ++stats_.dropped_rule;
+      m_dropped_rule_->inc();
       return;
     }
     if (const auto* set_tos = std::get_if<ActSetTos>(&action)) {
@@ -106,6 +122,7 @@ void SdnSwitch::execute(const ActionList& actions, std::size_t start,
       if (m == nullptr ||
           !m->conforms(static_cast<std::int64_t>(pkt.size()), sim().now())) {
         ++stats_.dropped_meter;
+        m_dropped_meter_->inc();
         return;
       }
       continue;
@@ -117,9 +134,11 @@ void SdnSwitch::execute(const ActionList& actions, std::size_t start,
     if (const auto* tunnel = std::get_if<ActTunnel>(&action)) {
       if (!tunnel_encap_) {
         ++stats_.dropped_rule;
+        m_dropped_rule_->inc();
         return;
       }
       ++stats_.tunneled;
+      m_tunneled_->inc();
       pkt = tunnel_encap_(std::move(pkt), tunnel->gateway);
       continue;
     }
@@ -127,9 +146,11 @@ void SdnSwitch::execute(const ActionList& actions, std::size_t start,
       const auto it = processors_.find(mbox->chain_id);
       if (it == processors_.end()) {
         ++stats_.dropped_rule;
+        m_dropped_rule_->inc();
         return;
       }
       ++stats_.diverted_mbox;
+      m_diverted_mbox_->inc();
       SimDuration delay = 0;
       std::vector<Packet> outs =
           it->second->process(std::move(pkt), sim().now(), delay);
@@ -140,7 +161,7 @@ void SdnSwitch::execute(const ActionList& actions, std::size_t start,
           // Copy the tail of the action list: the rule may be removed
           // before the deferred continuation runs.
           sim().schedule_after(
-              delay, [this, acts = actions, i, out = std::move(out),
+              delay, SimCategory::kMbox, [this, acts = actions, i, out = std::move(out),
                       in_port]() mutable {
                 execute(acts, i + 1, std::move(out), in_port);
               });
@@ -153,6 +174,7 @@ void SdnSwitch::execute(const ActionList& actions, std::size_t start,
   }
   // Action list exhausted without output/drop: drop.
   ++stats_.dropped_rule;
+  m_dropped_rule_->inc();
 }
 
 }  // namespace pvn

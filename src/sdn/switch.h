@@ -14,6 +14,7 @@
 #include "netsim/node.h"
 #include "sdn/flow_table.h"
 #include "sdn/meter.h"
+#include "telemetry/metrics.h"
 
 namespace pvn {
 
@@ -78,6 +79,15 @@ class SdnSwitch : public Node {
   std::optional<int> default_port_;
   SimDuration pipeline_latency_ = 0;
   SwitchStats stats_;
+  // Telemetry cells registered under instance = switch name, mirroring the
+  // SwitchStats fields the exporters and the auditor consume.
+  telemetry::Counter* m_packets_in_ = nullptr;
+  telemetry::Counter* m_forwarded_ = nullptr;
+  telemetry::Counter* m_dropped_rule_ = nullptr;
+  telemetry::Counter* m_dropped_miss_ = nullptr;
+  telemetry::Counter* m_dropped_meter_ = nullptr;
+  telemetry::Counter* m_diverted_mbox_ = nullptr;
+  telemetry::Counter* m_tunneled_ = nullptr;
 };
 
 }  // namespace pvn

@@ -1,0 +1,105 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace pvn::telemetry {
+
+std::vector<std::uint64_t> latency_bounds_ns() {
+  return {1'000,          10'000,        100'000,       1'000'000,
+          10'000'000,     100'000'000,   1'000'000'000};
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name,
+                                          std::string_view instance) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.instance == instance) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_total(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.kind == MetricKind::kCounter) {
+      total += s.counter_value;
+    }
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name,
+                                                   std::string_view instance,
+                                                   MetricKind kind) {
+  const auto key = std::make_pair(std::string(name), std::string(instance));
+  const auto it = index_.find(key);
+  if (it != index_.end()) return *it->second;
+  Entry& e = entries_.emplace_back();
+  e.name = key.first;
+  e.instance = key.second;
+  e.kind = kind;
+  index_[key] = &e;
+  return e;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view instance) {
+  return entry_for(name, instance, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name,
+                              std::string_view instance) {
+  return entry_for(name, instance, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view instance,
+                                      std::vector<std::uint64_t> bounds) {
+  Entry& e = entry_for(name, instance, MetricKind::kHistogram);
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.samples.reserve(index_.size());
+  // index_ is an ordered map keyed on (name, instance): deterministic order.
+  for (const auto& [key, entry] : index_) {
+    MetricSample s;
+    s.name = entry->name;
+    s.instance = entry->instance;
+    s.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        s.counter_value = entry->counter.value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge_value = entry->gauge.value();
+        break;
+      case MetricKind::kHistogram:
+        s.bounds = entry->histogram->bounds();
+        s.bucket_counts = entry->histogram->counts();
+        s.hist_count = entry->histogram->count();
+        s.hist_sum = entry->histogram->sum();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (Entry& e : entries_) {
+    e.counter.reset();
+    e.gauge.reset();
+    if (e.histogram != nullptr) e.histogram->reset();
+  }
+}
+
+}  // namespace pvn::telemetry

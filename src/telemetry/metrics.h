@@ -1,0 +1,192 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms.
+//
+// Design (DESIGN.md "Observability"):
+//   * Registration happens once per (name, instance) — cold path, allocates.
+//     The returned reference points at a plain std::uint64_t cell that stays
+//     valid for the registry's lifetime, so the hot path is a single inlined
+//     increment with no locks, hashing, or branches.
+//   * The whole simulator is single-threaded by construction (util/sim.h),
+//     so "lock-free" here means literally lock-free: plain integer cells.
+//   * snapshot() copies every cell into a value type the exporters
+//     (telemetry/export.h) render as Prometheus text or JSON.
+//   * Compiling with -DPVN_TELEMETRY_DISABLED (CMake: -DPVN_TELEMETRY=OFF)
+//     turns every mutation into an empty inline function the optimizer
+//     deletes — the instrumented call sites cost exactly nothing.
+//
+// Naming scheme: dotted `layer.component.name`, e.g.
+// `sdn.flow_table.hits`. Per-entity metrics add an `instance` label
+// (rendered as {instance="..."} in Prometheus text), e.g. one counter per
+// link direction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pvn::telemetry {
+
+#ifdef PVN_TELEMETRY_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+#ifndef PVN_TELEMETRY_DISABLED
+    v_ += n;
+#else
+    (void)n;
+#endif
+  }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+// Point-in-time value that can move both ways (queue depth, memory in use).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+#ifndef PVN_TELEMETRY_DISABLED
+    v_ = v;
+#else
+    (void)v;
+#endif
+  }
+  void add(std::int64_t d) {
+#ifndef PVN_TELEMETRY_DISABLED
+    v_ += d;
+#else
+    (void)d;
+#endif
+  }
+  std::int64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+// Fixed-bucket histogram. `bounds` are inclusive upper bounds in ascending
+// order; an implicit +inf bucket catches the overflow. observe(v) lands in
+// the first bucket with v <= bound. Values are plain uint64 (the repo's
+// latency histograms observe SimDuration nanoseconds).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void observe(std::uint64_t v) {
+#ifndef PVN_TELEMETRY_DISABLED
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    sum_ += v;
+#else
+    (void)v;
+#endif
+  }
+
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  // counts()[i] counts observations <= bounds()[i]; counts().back() is +inf.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : counts_) n += c;
+    return n;
+  }
+  std::uint64_t sum() const { return sum_; }
+  void reset() {
+    for (std::uint64_t& c : counts_) c = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t sum_ = 0;
+};
+
+// Exponential latency buckets for SimDuration observations:
+// 1us, 10us, 100us, 1ms, 10ms, 100ms, 1s (in nanoseconds).
+std::vector<std::uint64_t> latency_bounds_ns();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One metric's value, copied out of the live cells by snapshot().
+struct MetricSample {
+  std::string name;
+  std::string instance;  // "" = no instance label
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter_value = 0;
+  std::int64_t gauge_value = 0;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t hist_count = 0;
+  std::uint64_t hist_sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by (name, instance)
+
+  const MetricSample* find(std::string_view name,
+                           std::string_view instance = "") const;
+  // Sum of counter values across all instances sharing `name`.
+  std::uint64_t counter_total(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every instrumented component writes to.
+  static MetricsRegistry& global();
+
+  // Idempotent: the same (name, instance) always returns the same cell.
+  Counter& counter(std::string_view name, std::string_view instance = "");
+  Gauge& gauge(std::string_view name, std::string_view instance = "");
+  // A histogram's bounds are fixed by the first registration; later calls
+  // with the same key return the existing histogram regardless of bounds.
+  Histogram& histogram(std::string_view name, std::string_view instance,
+                       std::vector<std::uint64_t> bounds);
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> bounds) {
+    return histogram(name, "", std::move(bounds));
+  }
+
+  MetricsSnapshot snapshot() const;
+  // Zeroes every value; registrations (and handed-out references) survive.
+  void reset();
+  std::size_t size() const { return index_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string instance;
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry_for(std::string_view name, std::string_view instance,
+                   MetricKind kind);
+
+  // deque: stable addresses for handed-out cell references.
+  std::deque<Entry> entries_;
+  std::map<std::pair<std::string, std::string>, Entry*> index_;
+};
+
+}  // namespace pvn::telemetry

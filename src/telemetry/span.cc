@@ -1,0 +1,80 @@
+#include "telemetry/span.h"
+
+#include <algorithm>
+
+namespace pvn::telemetry {
+
+SpanRecorder::SpanRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+SpanRecorder& SpanRecorder::global() {
+  static SpanRecorder recorder;
+  return recorder;
+}
+
+int& SpanRecorder::open_count(std::string_view session) {
+  for (auto& [name, count] : open_by_session_) {
+    if (name == session) return count;
+  }
+  open_by_session_.emplace_back(std::string(session), 0);
+  return open_by_session_.back().second;
+}
+
+SpanRecord& SpanRecorder::claim(std::string_view name,
+                                std::string_view category,
+                                std::string_view session) {
+  SpanRecord& r = ring_[next_seq_ % ring_.size()];
+  r.seq = next_seq_++;
+  r.name.assign(name);
+  r.category.assign(category);
+  r.session.assign(session);
+  r.start = now();
+  r.end = -1;
+  last_time_ = std::max(last_time_, r.start);
+  return r;
+}
+
+Span SpanRecorder::start(std::string_view name, std::string_view category,
+                         std::string_view session) {
+  SpanRecord& r = claim(name, category, session);
+  int& open = open_count(session);
+  r.depth = open++;
+  return Span(this, r.seq);
+}
+
+void SpanRecorder::instant(std::string_view name, std::string_view category,
+                           std::string_view session) {
+  SpanRecord& r = claim(name, category, session);
+  r.depth = open_count(session);
+  r.end = r.start;
+}
+
+void SpanRecorder::finish_span(std::uint64_t seq) {
+  SpanRecord& r = ring_[seq % ring_.size()];
+  if (r.seq != seq) return;  // the ring wrapped past this span: drop it
+  if (r.end < 0) r.end = std::max(r.start, now());
+  last_time_ = std::max(last_time_, r.end);
+  int& open = open_count(r.session);
+  if (open > 0) --open;
+}
+
+std::vector<SpanRecord> SpanRecorder::records() const {
+  std::vector<SpanRecord> out;
+  const std::uint64_t count =
+      std::min<std::uint64_t>(next_seq_, ring_.size());
+  out.reserve(count);
+  const std::uint64_t first = next_seq_ - count;
+  for (std::uint64_t seq = first; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % ring_.size()]);
+  }
+  return out;
+}
+
+void SpanRecorder::clear() {
+  for (SpanRecord& r : ring_) r = SpanRecord{};
+  next_seq_ = 0;
+  last_time_ = 0;
+  open_by_session_.clear();
+}
+
+}  // namespace pvn::telemetry

@@ -1,0 +1,129 @@
+// Control-plane span tracing.
+//
+// A Span is an RAII handle over a [start, end] interval in simulated time,
+// keyed by a PVN session id (the device id of the PVNC being deployed).
+// The control plane opens spans for discovery -> negotiation -> compile ->
+// deploy -> lease lifecycle; point events (retransmissions, failovers,
+// injected faults) are recorded as zero-duration instants.
+//
+// Records land in a fixed-capacity ring buffer (old records are overwritten,
+// never reallocated), and telemetry/export.h renders them as Chrome
+// trace_event JSON — load the file in chrome://tracing or Perfetto, one
+// track per session id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sim.h"
+#include "util/time.h"
+
+namespace pvn::telemetry {
+
+struct SpanRecord {
+  std::uint64_t seq = 0;  // monotonically increasing record number
+  std::string name;       // e.g. "deploy"
+  std::string category;   // taxonomy: "pvn", "fault", ...
+  std::string session;    // PVN session id (device id); "" = global
+  SimTime start = 0;
+  SimTime end = -1;       // -1 while the span is open
+  int depth = 0;          // nesting depth within the session at start time
+};
+
+class Span;
+
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(std::size_t capacity = 4096);
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  // The process-wide recorder the control plane writes to.
+  static SpanRecorder& global();
+
+  // Spans are stamped from this clock. Components call this on construction
+  // (idempotent); the last caller wins, which is what single-Network runs
+  // want. Without a clock, records are stamped at t=0. The clock is only
+  // dereferenced while recording, so it must outlive the spans it stamps —
+  // after the simulator is gone, exporters read last_time() instead.
+  void set_clock(const Simulator* sim) { clock_ = sim; }
+  SimTime now() const { return clock_ != nullptr ? clock_->now() : 0; }
+  // Newest timestamp ever recorded. Safe after the clock's Simulator has
+  // been destroyed (the export-at-exit case), unlike now().
+  SimTime last_time() const { return last_time_; }
+
+  // Opens a span; it closes when the returned handle is destroyed (or
+  // finish()ed). The handle stays valid even after the ring wraps past the
+  // record — the late finish is simply dropped.
+  Span start(std::string_view name, std::string_view category,
+             std::string_view session);
+
+  // Records a zero-duration point event.
+  void instant(std::string_view name, std::string_view category,
+               std::string_view session);
+
+  // Records in ring order, oldest first. At most capacity() entries.
+  std::vector<SpanRecord> records() const;
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t total_recorded() const { return next_seq_; }
+  void clear();
+
+ private:
+  friend class Span;
+  SpanRecord& claim(std::string_view name, std::string_view category,
+                    std::string_view session);
+  void finish_span(std::uint64_t seq);
+
+  const Simulator* clock_ = nullptr;
+  SimTime last_time_ = 0;
+  std::vector<SpanRecord> ring_;
+  std::uint64_t next_seq_ = 0;  // == records ever claimed
+  // Open-span count per session, for depth stamping. Sessions are few (one
+  // per device) so a small vector beats a map for the hot path.
+  std::vector<std::pair<std::string, int>> open_by_session_;
+  int& open_count(std::string_view session);
+};
+
+// Move-only RAII handle; default-constructed Spans are inert, so members
+// can be declared up front and assigned when the phase actually begins.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { move_from(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish();
+      move_from(other);
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  bool active() const { return rec_ != nullptr; }
+
+  // Closes the span at the recorder's current time. Idempotent.
+  void finish() {
+    if (rec_ != nullptr) {
+      rec_->finish_span(seq_);
+      rec_ = nullptr;
+    }
+  }
+
+ private:
+  friend class SpanRecorder;
+  Span(SpanRecorder* rec, std::uint64_t seq) : rec_(rec), seq_(seq) {}
+  void move_from(Span& other) {
+    rec_ = other.rec_;
+    seq_ = other.seq_;
+    other.rec_ = nullptr;
+  }
+
+  SpanRecorder* rec_ = nullptr;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pvn::telemetry

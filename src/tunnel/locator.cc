@@ -41,7 +41,7 @@ void RemotePvnLocator::probe(const std::vector<Ipv4Addr>& candidates,
                       std::move(w).take());
     }
   }
-  timer_ = host_->sim().schedule_after(timeout, [this] {
+  timer_ = host_->sim().schedule_after(timeout, SimCategory::kTunnel, [this] {
     timer_ = kInvalidEventId;
     finish();
   });

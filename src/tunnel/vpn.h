@@ -19,6 +19,7 @@
 #include "proto/host.h"
 #include "proto/l4.h"
 #include "sdn/switch.h"
+#include "telemetry/metrics.h"
 #include "tunnel/esp.h"
 
 namespace pvn {
@@ -48,6 +49,8 @@ class TunnelIngress : public Node {
   TunnelSelector selector_;
   std::uint64_t tunneled_ = 0;
   std::uint64_t bypassed_ = 0;
+  telemetry::Counter* m_tunneled_ = nullptr;
+  telemetry::Counter* m_bypassed_ = nullptr;
 };
 
 // Switch-side tunnel termination: a PacketProcessor that decapsulates
@@ -118,6 +121,10 @@ class DeviceTunnel {
   std::uint64_t bypassed_ = 0;
   std::uint64_t decap_ = 0;
   std::uint64_t auth_fail_ = 0;
+  telemetry::Counter* m_tunneled_ = nullptr;
+  telemetry::Counter* m_bypassed_ = nullptr;
+  telemetry::Counter* m_decap_ = nullptr;
+  telemetry::Counter* m_auth_fail_ = nullptr;
 };
 
 class VpnGateway : public Node {
@@ -149,6 +156,9 @@ class VpnGateway : public Node {
   std::uint64_t decap_ = 0;
   std::uint64_t reencap_ = 0;
   std::uint64_t auth_fail_ = 0;
+  telemetry::Counter* m_decap_ = nullptr;
+  telemetry::Counter* m_reencap_ = nullptr;
+  telemetry::Counter* m_auth_fail_ = nullptr;
 };
 
 }  // namespace pvn

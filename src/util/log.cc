@@ -1,5 +1,7 @@
 #include "util/log.h"
 
+#include <cstring>
+
 namespace pvn {
 namespace {
 
@@ -21,6 +23,55 @@ const char* level_name(LogLevel level) {
 
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
+
+std::size_t format_log_message(char* buf, std::size_t size, const char* fmt,
+                               std::va_list ap) {
+  if (size == 0) return 0;
+  const int n = std::vsnprintf(buf, size, fmt, ap);
+  if (n < 0) {  // encoding error: emit nothing rather than garbage
+    buf[0] = '\0';
+    return 0;
+  }
+  if (static_cast<std::size_t>(n) < size) return static_cast<std::size_t>(n);
+  // vsnprintf already truncated safely; make the truncation visible by
+  // ending with "…" (3-byte UTF-8 sequence) instead of a mid-word cut.
+  static constexpr char kEllipsis[] = "\xE2\x80\xA6";
+  if (size > sizeof(kEllipsis)) {
+    std::memcpy(buf + size - sizeof(kEllipsis), kEllipsis, sizeof(kEllipsis));
+  }
+  return size - 1;
+}
+
+void Logger::vlog(LogLevel level, const char* fmt, std::va_list ap) const {
+  char buf[512];
+  const std::size_t len = format_log_message(buf, sizeof(buf), fmt, ap);
+  log_line(level, tag_, std::string_view(buf, len), clock_ ? *clock_ : -1);
+}
+
+void Logger::log(LogLevel level, const char* fmt, ...) const {
+  if (level < g_level) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  vlog(level, fmt, ap);
+  va_end(ap);
+}
+
+#define PVN_DEFINE_LEVEL(method, level)                  \
+  void Logger::method(const char* fmt, ...) const {      \
+    if (LogLevel::level < g_level) return;               \
+    std::va_list ap;                                     \
+    va_start(ap, fmt);                                   \
+    vlog(LogLevel::level, fmt, ap);                      \
+    va_end(ap);                                          \
+  }
+
+PVN_DEFINE_LEVEL(trace, kTrace)
+PVN_DEFINE_LEVEL(debug, kDebug)
+PVN_DEFINE_LEVEL(info, kInfo)
+PVN_DEFINE_LEVEL(warn, kWarn)
+PVN_DEFINE_LEVEL(error, kError)
+
+#undef PVN_DEFINE_LEVEL
 
 void log_line(LogLevel level, std::string_view tag, std::string_view msg,
               SimTime now) {

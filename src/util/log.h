@@ -2,13 +2,27 @@
 //
 // Components log with a tag; the global level gates output. Tests run at
 // kWarn to keep ctest output clean; examples raise the level to narrate.
+//
+// Hardening: every formatting entry point carries the printf format
+// attribute, so format-string/argument mismatches (including passing a
+// std::string to %s) are compile errors under -Wall, and messages that
+// overflow the internal buffer are truncated with a trailing "…" instead of
+// relying on callers to size things right.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <string_view>
 
 #include "util/time.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PVN_PRINTF(fmt_idx, args_idx) \
+  __attribute__((format(printf, fmt_idx, args_idx)))
+#else
+#define PVN_PRINTF(fmt_idx, args_idx)
+#endif
 
 namespace pvn {
 
@@ -20,42 +34,30 @@ void set_log_level(LogLevel level);
 void log_line(LogLevel level, std::string_view tag, std::string_view msg,
               SimTime now);
 
+// Formats into buf (always NUL-terminated, never overflowing `size`). When
+// the message does not fit, the tail is replaced with a UTF-8 ellipsis.
+// Returns the number of bytes written (excluding the NUL). Exposed for the
+// truncation tests in tests/util_test.cc.
+std::size_t format_log_message(char* buf, std::size_t size, const char* fmt,
+                               std::va_list ap);
+
 // printf-style logging helper bound to a component tag and a clock source.
 class Logger {
  public:
   Logger(std::string tag, const SimTime* clock = nullptr)
       : tag_(std::move(tag)), clock_(clock) {}
 
-  template <typename... Args>
-  void log(LogLevel level, const char* fmt, Args... args) const {
-    if (level < log_level()) return;
-    char buf[512];
-    std::snprintf(buf, sizeof(buf), fmt, args...);
-    log_line(level, tag_, buf, clock_ ? *clock_ : -1);
-  }
-
-  template <typename... Args>
-  void trace(const char* fmt, Args... args) const {
-    log(LogLevel::kTrace, fmt, args...);
-  }
-  template <typename... Args>
-  void debug(const char* fmt, Args... args) const {
-    log(LogLevel::kDebug, fmt, args...);
-  }
-  template <typename... Args>
-  void info(const char* fmt, Args... args) const {
-    log(LogLevel::kInfo, fmt, args...);
-  }
-  template <typename... Args>
-  void warn(const char* fmt, Args... args) const {
-    log(LogLevel::kWarn, fmt, args...);
-  }
-  template <typename... Args>
-  void error(const char* fmt, Args... args) const {
-    log(LogLevel::kError, fmt, args...);
-  }
+  // Format indices count the implicit `this` as argument 1.
+  void log(LogLevel level, const char* fmt, ...) const PVN_PRINTF(3, 4);
+  void trace(const char* fmt, ...) const PVN_PRINTF(2, 3);
+  void debug(const char* fmt, ...) const PVN_PRINTF(2, 3);
+  void info(const char* fmt, ...) const PVN_PRINTF(2, 3);
+  void warn(const char* fmt, ...) const PVN_PRINTF(2, 3);
+  void error(const char* fmt, ...) const PVN_PRINTF(2, 3);
 
  private:
+  void vlog(LogLevel level, const char* fmt, std::va_list ap) const;
+
   std::string tag_;
   const SimTime* clock_;
 };

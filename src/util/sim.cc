@@ -1,8 +1,24 @@
 #include "util/sim.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace pvn {
+
+const char* to_string(SimCategory c) {
+  switch (c) {
+    case SimCategory::kOther: return "other";
+    case SimCategory::kLink: return "link";
+    case SimCategory::kSwitch: return "switch";
+    case SimCategory::kMbox: return "mbox";
+    case SimCategory::kPvnControl: return "pvn-control";
+    case SimCategory::kTunnel: return "tunnel";
+    case SimCategory::kProto: return "proto";
+    case SimCategory::kFault: return "fault";
+    case SimCategory::kWorkload: return "workload";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -28,7 +44,7 @@ struct HeapLater {
 
 }  // namespace
 
-EventId Simulator::schedule_fn(SimTime when, EventFn fn) {
+EventId Simulator::schedule_fn(SimTime when, EventFn fn, SimCategory cat) {
   if (when < now_) when = now_;
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -41,6 +57,7 @@ EventId Simulator::schedule_fn(SimTime when, EventFn fn) {
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
   s.armed = true;
+  s.cat = cat;
   heap_.push_back(HeapEntry{when, next_seq_++, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
   ++live_;
@@ -59,7 +76,7 @@ void Simulator::cancel(EventId id) {
 }
 
 bool Simulator::pop_one_until(SimTime deadline, SimTime& when_out,
-                              EventFn& fn_out) {
+                              EventFn& fn_out, SimCategory& cat_out) {
   while (!heap_.empty() && heap_.front().when <= deadline) {
     const HeapEntry top = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
@@ -70,7 +87,10 @@ bool Simulator::pop_one_until(SimTime deadline, SimTime& when_out,
     // then recycle it.
     ++s.gen;
     s.armed = false;
-    if (fire) fn_out = std::move(s.fn);
+    if (fire) {
+      fn_out = std::move(s.fn);
+      cat_out = s.cat;
+    }
     s.fn.reset();
     free_slots_.push_back(top.slot);
     if (fire) {
@@ -82,14 +102,31 @@ bool Simulator::pop_one_until(SimTime deadline, SimTime& when_out,
   return false;
 }
 
+void Simulator::dispatch(EventFn& fn, SimCategory cat) {
+  SimProfile::Entry& entry = profile_[cat];
+  ++entry.events;
+  if (profiling_) {
+    // Wall-clock attribution is opt-in: the two clock reads dominate the
+    // cost of a small event, so benches enable it only when asked.
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    entry.wall_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  } else {
+    fn();
+  }
+}
+
 bool Simulator::step() {
   SimTime when;
   EventFn fn;
-  if (!pop_one_until(std::numeric_limits<SimTime>::max(), when, fn)) {
+  SimCategory cat = SimCategory::kOther;
+  if (!pop_one_until(std::numeric_limits<SimTime>::max(), when, fn, cat)) {
     return false;
   }
   now_ = when;
-  fn();
+  dispatch(fn, cat);
   return true;
 }
 
@@ -97,9 +134,10 @@ std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t executed = 0;
   SimTime when;
   EventFn fn;
-  while (pop_one_until(deadline, when, fn)) {
+  SimCategory cat = SimCategory::kOther;
+  while (pop_one_until(deadline, when, fn, cat)) {
     now_ = when;
-    fn();
+    dispatch(fn, cat);
     fn.reset();
     ++executed;
   }

@@ -33,6 +33,53 @@ namespace pvn {
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
+// Callback category for the simulator profiler. Scheduling call sites tag
+// their events (defaulting to kOther); the run loop attributes event counts
+// (always) and wall-clock time (when profiling is enabled) per category, so
+// benches can report where simulated *and* real time goes.
+enum class SimCategory : std::uint8_t {
+  kOther = 0,
+  kLink,        // per-hop delivery / queue drain (netsim/link.cc)
+  kSwitch,      // SDN pipeline latency (sdn/switch.cc)
+  kMbox,        // chain continuations, instantiation (mbox/)
+  kPvnControl,  // discovery/deploy/lease timers (pvn/)
+  kTunnel,      // tunnel endpoints (tunnel/)
+  kProto,       // protocol timers (proto/)
+  kFault,       // injected faults (netsim/faults.cc)
+  kWorkload,    // traffic generators (workload/)
+};
+constexpr std::size_t kSimCategoryCount =
+    static_cast<std::size_t>(SimCategory::kWorkload) + 1;
+const char* to_string(SimCategory c);
+
+// Per-category event counts and wall-clock attribution. Event counts are
+// always maintained (one array increment per event); wall_ns is only
+// populated while profiling is enabled (two steady_clock reads per event).
+struct SimProfile {
+  struct Entry {
+    std::uint64_t events = 0;
+    std::uint64_t wall_ns = 0;
+  };
+  Entry by_category[kSimCategoryCount];
+
+  Entry& operator[](SimCategory c) {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+  const Entry& operator[](SimCategory c) const {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const Entry& e : by_category) n += e.events;
+    return n;
+  }
+  std::uint64_t total_wall_ns() const {
+    std::uint64_t n = 0;
+    for (const Entry& e : by_category) n += e.wall_ns;
+    return n;
+  }
+};
+
 // Move-only type-erased void() callable with a small-buffer-optimized store.
 // Callables up to kInlineSize bytes (and max_align_t alignment) are stored
 // inline; larger ones fall back to a heap allocation.
@@ -137,14 +184,23 @@ class Simulator {
   // Schedules `fn` to run at absolute time `when` (clamped to now()).
   template <typename F>
   EventId schedule_at(SimTime when, F&& fn) {
-    return schedule_fn(when, EventFn(std::forward<F>(fn)));
+    return schedule_fn(when, EventFn(std::forward<F>(fn)), SimCategory::kOther);
+  }
+  template <typename F>
+  EventId schedule_at(SimTime when, SimCategory cat, F&& fn) {
+    return schedule_fn(when, EventFn(std::forward<F>(fn)), cat);
   }
 
   // Schedules `fn` to run `delay` nanoseconds from now.
   template <typename F>
   EventId schedule_after(SimDuration delay, F&& fn) {
     return schedule_fn(now_ + (delay < 0 ? 0 : delay),
-                       EventFn(std::forward<F>(fn)));
+                       EventFn(std::forward<F>(fn)), SimCategory::kOther);
+  }
+  template <typename F>
+  EventId schedule_after(SimDuration delay, SimCategory cat, F&& fn) {
+    return schedule_fn(now_ + (delay < 0 ? 0 : delay),
+                       EventFn(std::forward<F>(fn)), cat);
   }
 
   // Cancels a pending event in O(1). Safe to call with kInvalidEventId or an
@@ -163,6 +219,14 @@ class Simulator {
 
   std::size_t pending_events() const { return live_; }
 
+  // --- profiler (see SimProfile above) -----------------------------------
+  // Per-category event counts are always collected; wall-clock attribution
+  // (two steady_clock reads per event) only while enabled.
+  void enable_profiling(bool on) { profiling_ = on; }
+  bool profiling_enabled() const { return profiling_; }
+  const SimProfile& profile() const { return profile_; }
+  void reset_profile() { profile_ = SimProfile{}; }
+
  private:
   // Heap entries are 24 bytes; the callback lives in its slot until fired or
   // cancelled. `gen` detects stale entries after a slot is recycled.
@@ -175,13 +239,17 @@ class Simulator {
   struct Slot {
     std::uint32_t gen = 1;
     bool armed = false;
+    SimCategory cat = SimCategory::kOther;
     EventFn fn;
   };
 
-  EventId schedule_fn(SimTime when, EventFn fn);
+  EventId schedule_fn(SimTime when, EventFn fn, SimCategory cat);
   // Pops the earliest live event with when <= deadline (reclaiming any
   // cancelled entries it passes). Returns false if there is none.
-  bool pop_one_until(SimTime deadline, SimTime& when_out, EventFn& fn_out);
+  bool pop_one_until(SimTime deadline, SimTime& when_out, EventFn& fn_out,
+                     SimCategory& cat_out);
+  // Runs a popped event, charging the profiler.
+  void dispatch(EventFn& fn, SimCategory cat);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
@@ -189,6 +257,8 @@ class Simulator {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
+  bool profiling_ = false;
+  SimProfile profile_;
 };
 
 }  // namespace pvn

@@ -57,7 +57,7 @@ void HttpLoadGen::next() {
   http_.fetch(server_, port_, path_,
               [this](const HttpResponse&, const FetchTiming& timing) {
                 stats_.timings.push_back(timing);
-                client_->sim().schedule_after(think_, [this] { next(); });
+                client_->sim().schedule_after(think_, SimCategory::kWorkload, [this] { next(); });
               });
 }
 
@@ -137,7 +137,7 @@ void TelemetryEmitter::emit() {
               [this](const HttpResponse&, const FetchTiming&) { ++sent_; },
               {{"Content-Type", "application/x-www-form-urlencoded"}},
               to_bytes(body), "POST");
-  client_->sim().schedule_after(interval_, [this] { emit(); });
+  client_->sim().schedule_after(interval_, SimCategory::kWorkload, [this] { emit(); });
 }
 
 }  // namespace pvn

@@ -448,6 +448,35 @@ TEST(TraceCollector, ThroughputReflectsLinkRate) {
   EXPECT_NEAR(tc.mean_throughput_bps("a", "b") / 1e6, 10.0, 0.5);
 }
 
+
+TEST(Link, ChainedTapsAllObserveEveryDelivery) {
+  Network net;
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  Link& link = net.connect(a, b);
+
+  // Regression: attaching a TraceCollector used to silently evict any
+  // previously installed tap. Both observers must now see every packet.
+  int attacker_seen = 0;
+  link.add_tap([&](const Packet&, const Node&, const Node&) {
+    ++attacker_seen;
+  });
+  TraceCollector tc(net.sim());
+  tc.attach(link);
+  EXPECT_EQ(link.tap_count(), 2u);
+
+  for (int i = 0; i < 5; ++i) a.send(0, test_packet(net, 100));
+  net.sim().run();
+  EXPECT_EQ(attacker_seen, 5);
+  EXPECT_EQ(tc.records().size(), 5u);
+
+  // Legacy single-observer semantics still available explicitly.
+  link.set_tap([](const Packet&, const Node&, const Node&) {});
+  EXPECT_EQ(link.tap_count(), 1u);
+  link.clear_taps();
+  EXPECT_EQ(link.tap_count(), 0u);
+}
+
 // Parameterized property: delivery time = latency + size/rate across a grid.
 struct LinkTimingCase {
   int mbps;
