@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "mbox/inline_modules.h"
+#include "testbed/roaming.h"
 #include "testbed/testbed.h"
 
 using namespace pvn;
@@ -56,6 +57,66 @@ NetworkRun visit(const char* name, TestbedConfig cfg, const Pvnc& pvnc,
   tb.net.sim().run_until(tb.net.sim().now() + seconds(20));
   run.pii_blocked = !leak_arrived;
   return run;
+}
+
+// Act 2: live migration. Act 1 re-deploys from scratch on every network —
+// fine for stateless protection, but any per-flow middlebox state (which
+// flows are video, which trackers were seen) starts cold. With live
+// migration the device keeps ONE session: the new network's server pulls a
+// digest-protected checkpoint of the old chain before taking over, so the
+// protection *and its memory* follow Alice across the street.
+void migrate_walkthrough() {
+  std::printf("\n== live migration: the PVN follows the user ==\n");
+  RoamingTestbed tb;
+
+  // 1. Alice's device deploys on access network A as usual.
+  PvnClient agent(*tb.client, tb.roaming_pvnc());
+  agent.start_session(tb.addrs.control_a);
+  tb.net.sim().run_until(seconds(1));
+  std::printf("deployed on A:     chain %s, state %s\n",
+              agent.chain_id().c_str(),
+              agent.state() == SessionState::kActive ? "active" : "NOT active");
+
+  // 2. Browsing builds per-flow state in A's classifier.
+  for (int i = 0; i < 5; ++i) {
+    tb.client->send_udp(
+        tb.addrs.web, static_cast<Port>(5000 + i), 80,
+        to_bytes("HTTP/1.1 200 OK Content-Type: video #" + std::to_string(i)));
+  }
+  tb.net.sim().run_until(seconds(2));
+  std::uint64_t flows_on_a = 0;
+  for (Middlebox* m : tb.a.mbox->chain(agent.chain_id())->modules()) {
+    if (auto* c = dynamic_cast<Classifier*>(m)) flows_on_a = c->flows_classified();
+  }
+  std::printf("state built on A:  %llu classified flows\n",
+              static_cast<unsigned long long>(flows_on_a));
+
+  // 3. Alice walks across the street: the device re-attaches to network B
+  //    and migrates its session there. The old chain keeps serving
+  //    in-flight packets during the drain window; B's server fetches the
+  //    final checkpoint from A (StateRequest -> StateTransfer) and restores
+  //    it into the fresh chain before acking.
+  tb.re_attach();
+  bool migrated = false;
+  agent.migrate(tb.addrs.control_b, milliseconds(300),
+                [&](const DeployOutcome& o) { migrated = o.ok; });
+  tb.net.sim().run_until(seconds(8));
+
+  std::uint64_t flows_on_b = 0;
+  if (Chain* chain = tb.b.mbox->chain(agent.chain_id())) {
+    for (Middlebox* m : chain->modules()) {
+      if (auto* c = dynamic_cast<Classifier*>(m)) {
+        flows_on_b = c->flows_classified();
+      }
+    }
+  }
+  std::printf("migrated to B:     %s, handoffs=%llu, old session %s\n",
+              migrated ? "ok" : "FAILED",
+              static_cast<unsigned long long>(tb.b.server->handoffs_completed()),
+              tb.a.server->deployments_active() == 0 ? "torn down" : "LEAKED");
+  std::printf("state carried:     %llu of %llu flows survived the move\n",
+              static_cast<unsigned long long>(flows_on_b),
+              static_cast<unsigned long long>(flows_on_a));
 }
 
 }  // namespace
@@ -108,5 +169,7 @@ int main() {
   std::printf(
       "\nThe same PVNC delivered the strongest protection each network could "
       "offer —\nAlice never reconfigured anything while roaming.\n");
+
+  migrate_walkthrough();
   return 0;
 }

@@ -1,0 +1,103 @@
+#include "mbox/checkpoint.h"
+
+namespace pvn {
+
+Bytes ChainCheckpoint::encode() const {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kFormatVersion);
+  w.str(chain_id);
+  w.u64(seq);
+  w.i64(taken_at);
+  w.u8(incremental ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(modules.size()));
+  for (const ModuleSnapshot& m : modules) {
+    w.str(m.module);
+    w.u32(m.state_version);
+    w.u64(m.packets_seen);
+    w.u64(m.packets_dropped);
+    w.blob(m.state);
+  }
+  Bytes out = std::move(w).take();
+  const Bytes mac = digest_of(out).to_bytes();
+  out.insert(out.end(), mac.begin(), mac.end());
+  return out;
+}
+
+std::optional<ChainCheckpoint> ChainCheckpoint::decode(const Bytes& b) {
+  constexpr std::size_t kDigestSize = 32;
+  if (b.size() < kDigestSize) return std::nullopt;
+  const Bytes payload(b.begin(), b.end() - kDigestSize);
+  const Bytes mac(b.end() - kDigestSize, b.end());
+  const auto want = Digest::from_bytes(mac);
+  if (!want || digest_of(payload) != *want) return std::nullopt;
+
+  ByteReader r(payload);
+  if (r.u32() != kMagic) return std::nullopt;
+  if (r.u8() != kFormatVersion) return std::nullopt;
+  ChainCheckpoint ckpt;
+  ckpt.chain_id = r.str();
+  ckpt.seq = r.u64();
+  ckpt.taken_at = r.i64();
+  ckpt.incremental = r.u8() != 0;
+  const std::uint16_t count = r.u16();
+  if (!r.ok()) return std::nullopt;
+  ckpt.modules.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    ModuleSnapshot m;
+    m.module = r.str();
+    m.state_version = r.u32();
+    m.packets_seen = r.u64();
+    m.packets_dropped = r.u64();
+    m.state = r.blob();
+    if (!r.ok()) return std::nullopt;
+    ckpt.modules.push_back(std::move(m));
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return ckpt;
+}
+
+ChainCheckpoint capture_chain(const Chain& chain, std::uint64_t seq,
+                              SimTime now,
+                              std::map<std::string, Digest>* changed_since) {
+  ChainCheckpoint ckpt;
+  ckpt.chain_id = chain.id();
+  ckpt.seq = seq;
+  ckpt.taken_at = now;
+  ckpt.incremental = changed_since != nullptr;
+  for (const Middlebox* mbox : chain.modules()) {
+    ModuleSnapshot m;
+    m.module = mbox->name();
+    m.state_version = mbox->state_version();
+    m.packets_seen = mbox->packets_seen;
+    m.packets_dropped = mbox->packets_dropped;
+    m.state = mbox->serialize_state();
+    if (changed_since != nullptr) {
+      const Digest d = digest_of(m.state);
+      auto [it, inserted] = changed_since->try_emplace(m.module, d);
+      if (!inserted) {
+        if (it->second == d) continue;  // unchanged: omit from incremental
+        it->second = d;
+      }
+    }
+    ckpt.modules.push_back(std::move(m));
+  }
+  return ckpt;
+}
+
+std::size_t restore_chain(Chain& chain, const ChainCheckpoint& ckpt) {
+  std::size_t restored = 0;
+  for (const ModuleSnapshot& snap : ckpt.modules) {
+    for (Middlebox* mbox : chain.modules()) {
+      if (mbox->name() != snap.module) continue;
+      if (!mbox->restore_state(snap.state, snap.state_version)) break;
+      mbox->packets_seen = snap.packets_seen;
+      mbox->packets_dropped = snap.packets_dropped;
+      ++restored;
+      break;
+    }
+  }
+  return restored;
+}
+
+}  // namespace pvn

@@ -21,6 +21,24 @@ FlowKey FlowKey::reversed() const {
   return key;
 }
 
+void write_flow_key(ByteWriter& w, const FlowKey& key) {
+  w.u32(key.src.v);
+  w.u32(key.dst.v);
+  w.u8(static_cast<std::uint8_t>(key.proto));
+  w.u16(key.src_port);
+  w.u16(key.dst_port);
+}
+
+FlowKey read_flow_key(ByteReader& r) {
+  FlowKey key;
+  key.src = Ipv4Addr(r.u32());
+  key.dst = Ipv4Addr(r.u32());
+  key.proto = static_cast<IpProto>(r.u8());
+  key.src_port = r.u16();
+  key.dst_port = r.u16();
+  return key;
+}
+
 Chain::Chain(std::string id, SimDuration per_packet_delay)
     : id_(std::move(id)), per_packet_delay_(per_packet_delay) {
   auto& reg = telemetry::MetricsRegistry::global();

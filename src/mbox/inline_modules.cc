@@ -14,6 +14,29 @@ bool payload_contains(const Bytes& haystack, const std::string& needle) {
   return payload_contains(haystack, to_bytes(needle));
 }
 
+namespace {
+
+// Counter-only module state: a fixed run of u64s, validated before commit.
+Bytes counters_state(std::initializer_list<std::uint64_t> vals) {
+  ByteWriter w;
+  for (const std::uint64_t v : vals) w.u64(v);
+  return std::move(w).take();
+}
+
+bool restore_counters(const Bytes& state,
+                      std::initializer_list<std::uint64_t*> out) {
+  ByteReader r(state);
+  std::vector<std::uint64_t> tmp;
+  tmp.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) tmp.push_back(r.u64());
+  if (!r.exhausted()) return false;
+  std::size_t i = 0;
+  for (std::uint64_t* p : out) *p = tmp[i++];
+  return true;
+}
+
+}  // namespace
+
 // --- TlsValidator -----------------------------------------------------------
 
 TlsValidator::TlsValidator(const TrustStore& trust, EnforcementMode mode,
@@ -93,6 +116,64 @@ Middlebox::Verdict TlsValidator::on_record(const FlowKey& key, FlowState& st,
     default:
       return Verdict::kForward;
   }
+}
+
+Bytes TlsValidator::serialize_state() const {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(flows_.size()));
+  for (const auto& [key, st] : flows_) {
+    write_flow_key(w, key);
+    w.u32(st.next_seq);
+    w.u8(st.synced ? 1 : 0);
+    w.u8(st.gave_up ? 1 : 0);
+    w.blob(st.buffer);
+    w.str(st.sni);
+    w.u8(st.verdict_done ? 1 : 0);
+  }
+  w.u16(static_cast<std::uint16_t>(sni_by_server_flow_.size()));
+  for (const auto& [key, sni] : sni_by_server_flow_) {
+    write_flow_key(w, key);
+    w.str(sni);
+  }
+  w.u64(checked_);
+  w.u64(blocked_);
+  return std::move(w).take();
+}
+
+bool TlsValidator::restore_state(const Bytes& state, std::uint32_t version) {
+  if (version != state_version()) return false;
+  ByteReader r(state);
+  std::map<FlowKey, FlowState> flows;
+  const std::uint16_t n_flows = r.u16();
+  if (!r.ok()) return false;
+  for (std::uint16_t i = 0; i < n_flows; ++i) {
+    const FlowKey key = read_flow_key(r);
+    FlowState st;
+    st.next_seq = r.u32();
+    st.synced = r.u8() != 0;
+    st.gave_up = r.u8() != 0;
+    st.buffer = r.blob();
+    st.sni = r.str();
+    st.verdict_done = r.u8() != 0;
+    if (!r.ok()) return false;
+    flows[key] = std::move(st);
+  }
+  std::map<FlowKey, std::string> snis;
+  const std::uint16_t n_snis = r.u16();
+  if (!r.ok()) return false;
+  for (std::uint16_t i = 0; i < n_snis; ++i) {
+    const FlowKey key = read_flow_key(r);
+    snis[key] = r.str();
+    if (!r.ok()) return false;
+  }
+  const std::uint64_t checked = r.u64();
+  const std::uint64_t blocked = r.u64();
+  if (!r.exhausted()) return false;
+  flows_ = std::move(flows);
+  sni_by_server_flow_ = std::move(snis);
+  checked_ = checked;
+  blocked_ = blocked;
+  return true;
 }
 
 Middlebox::Verdict TlsValidator::process(Packet& pkt, MboxContext& ctx) {
@@ -203,6 +284,15 @@ Middlebox::Verdict DnsValidator::process(Packet& pkt, MboxContext& ctx) {
   return Verdict::kForward;
 }
 
+Bytes DnsValidator::serialize_state() const {
+  return counters_state({checked_, blocked_});
+}
+
+bool DnsValidator::restore_state(const Bytes& state, std::uint32_t version) {
+  return version == state_version() &&
+         restore_counters(state, {&checked_, &blocked_});
+}
+
 // --- PiiDetector ------------------------------------------------------------
 
 PiiDetector::PiiDetector(std::vector<std::string> patterns, PiiAction action)
@@ -247,6 +337,12 @@ Middlebox::Verdict PiiDetector::process(Packet& pkt, MboxContext& ctx) {
   return Verdict::kForward;
 }
 
+Bytes PiiDetector::serialize_state() const { return counters_state({leaks_}); }
+
+bool PiiDetector::restore_state(const Bytes& state, std::uint32_t version) {
+  return version == state_version() && restore_counters(state, {&leaks_});
+}
+
 // --- TrackerBlocker -----------------------------------------------------------
 
 TrackerBlocker::TrackerBlocker(std::set<Ipv4Addr> tracker_addrs)
@@ -257,6 +353,14 @@ Middlebox::Verdict TrackerBlocker::process(Packet& pkt, MboxContext& ctx) {
   ++blocked_;
   ctx.report(name_, "tracker-blocked", "dst=" + pkt.ip.dst.to_string());
   return Verdict::kDrop;
+}
+
+Bytes TrackerBlocker::serialize_state() const {
+  return counters_state({blocked_});
+}
+
+bool TrackerBlocker::restore_state(const Bytes& state, std::uint32_t version) {
+  return version == state_version() && restore_counters(state, {&blocked_});
 }
 
 // --- MalwareDetector ------------------------------------------------------------
@@ -275,6 +379,14 @@ Middlebox::Verdict MalwareDetector::process(Packet& pkt, MboxContext& ctx) {
     }
   }
   return Verdict::kForward;
+}
+
+Bytes MalwareDetector::serialize_state() const {
+  return counters_state({detections_});
+}
+
+bool MalwareDetector::restore_state(const Bytes& state, std::uint32_t version) {
+  return version == state_version() && restore_counters(state, {&detections_});
 }
 
 // --- ReplicaSelector ---------------------------------------------------------------
@@ -329,6 +441,35 @@ Middlebox::Verdict ReplicaSelector::process(Packet& pkt, MboxContext& ctx) {
 // --- Classifier -----------------------------------------------------------------
 
 Classifier::Classifier(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+Bytes Classifier::serialize_state() const {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(flow_class_.size()));
+  for (const auto& [key, tos] : flow_class_) {
+    write_flow_key(w, key);
+    w.u8(tos);
+  }
+  w.u64(classified_);
+  return std::move(w).take();
+}
+
+bool Classifier::restore_state(const Bytes& state, std::uint32_t version) {
+  if (version != state_version()) return false;
+  ByteReader r(state);
+  std::map<FlowKey, std::uint8_t> classes;
+  const std::uint16_t n = r.u16();
+  if (!r.ok()) return false;
+  for (std::uint16_t i = 0; i < n; ++i) {
+    const FlowKey key = read_flow_key(r);
+    classes[key] = r.u8();
+    if (!r.ok()) return false;
+  }
+  const std::uint64_t classified = r.u64();
+  if (!r.exhausted()) return false;
+  flow_class_ = std::move(classes);
+  classified_ = classified;
+  return true;
+}
 
 Middlebox::Verdict Classifier::process(Packet& pkt, MboxContext& ctx) {
   (void)ctx;

@@ -33,6 +33,8 @@ class TlsValidator : public Middlebox {
   const std::string& name() const override { return name_; }
   Verdict process(Packet& pkt, MboxContext& ctx) override;
   SimDuration extra_delay() const override { return microseconds(20); }
+  Bytes serialize_state() const override;
+  bool restore_state(const Bytes& state, std::uint32_t version) override;
 
   std::uint64_t handshakes_checked() const { return checked_; }
   std::uint64_t handshakes_blocked() const { return blocked_; }
@@ -78,6 +80,8 @@ class DnsValidator : public Middlebox {
   const std::string& name() const override { return name_; }
   Verdict process(Packet& pkt, MboxContext& ctx) override;
   SimDuration extra_delay() const override { return microseconds(10); }
+  Bytes serialize_state() const override;
+  bool restore_state(const Bytes& state, std::uint32_t version) override;
 
   std::uint64_t responses_checked() const { return checked_; }
   std::uint64_t responses_blocked() const { return blocked_; }
@@ -105,6 +109,8 @@ class PiiDetector : public Middlebox {
   Verdict process(Packet& pkt, MboxContext& ctx) override;
   // PII scanning is the costliest inline module (string search over payload).
   SimDuration extra_delay() const override { return microseconds(35); }
+  Bytes serialize_state() const override;
+  bool restore_state(const Bytes& state, std::uint32_t version) override;
 
   std::uint64_t leaks_found() const { return leaks_; }
 
@@ -123,6 +129,8 @@ class TrackerBlocker : public Middlebox {
 
   const std::string& name() const override { return name_; }
   Verdict process(Packet& pkt, MboxContext& ctx) override;
+  Bytes serialize_state() const override;
+  bool restore_state(const Bytes& state, std::uint32_t version) override;
 
   std::uint64_t blocked() const { return blocked_; }
 
@@ -141,6 +149,8 @@ class MalwareDetector : public Middlebox {
   const std::string& name() const override { return name_; }
   Verdict process(Packet& pkt, MboxContext& ctx) override;
   SimDuration extra_delay() const override { return microseconds(25); }
+  Bytes serialize_state() const override;
+  bool restore_state(const Bytes& state, std::uint32_t version) override;
 
   std::uint64_t detections() const { return detections_; }
 
@@ -168,6 +178,8 @@ class Classifier : public Middlebox {
 
   const std::string& name() const override { return name_; }
   Verdict process(Packet& pkt, MboxContext& ctx) override;
+  Bytes serialize_state() const override;
+  bool restore_state(const Bytes& state, std::uint32_t version) override;
 
   std::uint64_t flows_classified() const { return classified_; }
 

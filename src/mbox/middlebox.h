@@ -16,6 +16,7 @@
 
 #include "netsim/packet.h"
 #include "proto/l4.h"
+#include "util/bytes.h"
 #include "util/sim.h"
 
 namespace pvn {
@@ -72,8 +73,31 @@ class Middlebox {
   // Extra per-packet processing cost beyond the chain's base cost.
   virtual SimDuration extra_delay() const { return 0; }
 
+  // --- Checkpointable state (survivability layer) ---------------------------
+  //
+  // Stateful modules serialize their dynamic state (flow tables, reassembly
+  // buffers, classification caches) so a warm standby can resume mid-session
+  // after a crash or a migration. Restore must be all-or-nothing: decode into
+  // temporaries and only commit on full success, so a corrupted snapshot
+  // leaves the module untouched.
+
+  // Bumped whenever a module's state wire format changes.
+  virtual std::uint32_t state_version() const { return 1; }
+  // Encodes the module's dynamic state. Stateless modules return empty.
+  virtual Bytes serialize_state() const { return {}; }
+  // Replaces the module's dynamic state with a previously serialized
+  // snapshot. Returns false (without partial mutation) on version mismatch
+  // or malformed bytes.
+  virtual bool restore_state(const Bytes& state, std::uint32_t version) {
+    return version == state_version() && state.empty();
+  }
+
   std::uint64_t packets_seen = 0;
   std::uint64_t packets_dropped = 0;
 };
+
+// FlowKey codec shared by stateful modules' state snapshots.
+void write_flow_key(ByteWriter& w, const FlowKey& key);
+FlowKey read_flow_key(ByteReader& r);
 
 }  // namespace pvn

@@ -80,6 +80,25 @@ void FaultInjector::partition(std::vector<Link*> links, SimTime at,
   });
 }
 
+void FaultInjector::crash_and_restart(Node& node, SimDuration downtime) {
+  crash_node(node);
+  net_->sim().schedule_after(downtime, SimCategory::kFault,
+                             [this, &node] { restore_node(node); });
+}
+
+void FaultInjector::crash_and_restart(const std::string& target,
+                                      SimDuration downtime,
+                                      std::function<void()> crash,
+                                      std::function<void()> restart) {
+  crash();
+  record("node-crash", target);
+  net_->sim().schedule_after(downtime, SimCategory::kFault,
+                             [this, target, restart = std::move(restart)] {
+                               restart();
+                               record("node-restart", target);
+                             });
+}
+
 void FaultInjector::random_flaps(Link& link, SimTime from, SimTime until,
                                  SimDuration mean_up, SimDuration mean_down) {
   net_->sim().schedule_at(from, SimCategory::kFault, [this, &link, until, mean_up, mean_down] {

@@ -12,6 +12,7 @@
 // benchmarked against faults injected here.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,17 @@ class FaultInjector {
   // Takes every listed link down for [at, at + duration): a partition
   // separating whatever the links connect.
   void partition(std::vector<Link*> links, SimTime at, SimDuration duration);
+
+  // Crashes `node` now and restarts it `downtime` later — the transient
+  // flavour of crash_node/restore_node, so recovery paths (not just
+  // failover paths) are exercisable from one call.
+  void crash_and_restart(Node& node, SimDuration downtime);
+  // Same fault for components that are not netsim Nodes (e.g. an MboxHost
+  // compute pool): `crash` runs now, `restart` runs `downtime` later, and
+  // both transitions are recorded against `target`.
+  void crash_and_restart(const std::string& target, SimDuration downtime,
+                         std::function<void()> crash,
+                         std::function<void()> restart);
 
   // A random flap process on one link: alternating exponentially-distributed
   // up/down holding times, starting up at `from`, stopping after `until`.

@@ -34,6 +34,7 @@ PvnClient::PvnClient(Host& host, Pvnc pvnc, ClientConfig cfg)
   m_recoveries_ = &reg.counter("pvn.client.recoveries");
   m_renews_sent_ = &reg.counter("pvn.client.renews_sent");
   m_renews_acked_ = &reg.counter("pvn.client.renews_acked");
+  m_migrations_ = &reg.counter("pvn.client.migrations");
   telemetry::SpanRecorder::global().set_clock(&host_->sim());
   host_->bind_udp(local_port_, [this](Ipv4Addr, Port, Port,
                                       const Bytes& payload) {
@@ -47,6 +48,7 @@ PvnClient::~PvnClient() {
   cancel_timer(deadline_timer_);
   cancel_timer(renew_timer_);
   cancel_timer(fallback_timer_);
+  cancel_timer(drain_timer_);
   host_->unbind_udp(local_port_);
 }
 
@@ -61,6 +63,16 @@ SimDuration PvnClient::jittered(SimDuration base, int attempt) const {
   double d = static_cast<double>(base);
   for (int i = 1; i < attempt; ++i) d *= cfg_.retry.backoff;
   const double j = cfg_.retry.jitter;
+  if (j > 0.0) d *= rng_.uniform(1.0 - j, 1.0 + j);
+  return static_cast<SimDuration>(d);
+}
+
+SimDuration PvnClient::renew_delay() const {
+  const int div = std::max(1, cfg_.session.renew_divisor);
+  double d = static_cast<double>(lease_) / div;
+  // Desynchronize: clients deployed the same instant must not renew in
+  // lockstep every period (thundering herd at the server).
+  const double j = cfg_.session.renew_jitter;
   if (j > 0.0) d *= rng_.uniform(1.0 - j, 1.0 + j);
   return static_cast<SimDuration>(d);
 }
@@ -82,7 +94,10 @@ void PvnClient::discover_and_deploy(Ipv4Addr server, DoneCallback done) {
 void PvnClient::start_discovery_round() {
   // While in fallback the session stays in kFallback through rediscovery
   // attempts: the tunnel is still carrying traffic until a deploy lands.
-  if (session_ && !in_fallback_) set_state(SessionState::kDiscovering);
+  // A migration likewise stays kActive: the old session is still serving.
+  if (session_ && !in_fallback_ && !migrating_) {
+    set_state(SessionState::kDiscovering);
+  }
   ++discovery_round_;
   m_discovery_rounds_->inc();
   phase_span_ = telemetry::SpanRecorder::global().start("discovery", "pvn",
@@ -199,6 +214,12 @@ void PvnClient::on_offers_collected() {
   // Tell the server which modules the user's policy treats as hard
   // constraints: losing one of those later cannot be degraded around.
   req.required_modules = cfg_.constraints.required_modules;
+  if (migrating_) {
+    // Ask the new server to pull our session state from the old one
+    // before acking (live migration handoff).
+    req.handoff_server = migrate_from_server_;
+    req.handoff_chain_id = migrate_from_chain_;
+  }
   outcome_.paid = chosen_offer_.total_price;
   outcome_.utility = negotiated.utility;
   outcome_.deployed_modules = req.pvnc.module_names();
@@ -209,7 +230,9 @@ void PvnClient::on_offers_collected() {
   awaiting_ack_ = true;
   phase_span_ = telemetry::SpanRecorder::global().start("deploy", "pvn",
                                                         pvnc_.name);
-  if (session_ && !in_fallback_) set_state(SessionState::kDeploying);
+  if (session_ && !in_fallback_ && !migrating_) {
+    set_state(SessionState::kDeploying);
+  }
 
   // Overall deadline, independent of per-attempt retransmission timers.
   deadline_timer_ = host_->sim().schedule_after(cfg_.deploy_timeout, SimCategory::kPvnControl, [this] {
@@ -305,9 +328,11 @@ void PvnClient::stop_session() {
   lease_span_.finish();
   cancel_timer(renew_timer_);
   cancel_timer(fallback_timer_);
+  cancel_timer(drain_timer_);
   renew_misses_ = 0;
   fallback_delay_ = 0;
   in_fallback_ = false;
+  migrating_ = false;
   if (fallback_ != nullptr && fallback_->active()) fallback_->disable();
   set_state(SessionState::kIdle);
 }
@@ -320,6 +345,15 @@ void PvnClient::session_cycle() {
 void PvnClient::on_session_outcome(const DeployOutcome& outcome) {
   if (!session_) return;
   if (session_done_) session_done_(outcome);
+  if (migrating_ && !outcome.ok) {
+    // Migration failed: the old deployment is still live and its lease is
+    // still being renewed — just stay where we are, no fallback.
+    migrating_ = false;
+    server_ = migrate_from_server_;
+    telemetry::SpanRecorder::global().instant("migration_failed", "pvn",
+                                              pvnc_.name);
+    return;
+  }
   if (outcome.ok) {
     enter_active(outcome);
   } else {
@@ -328,12 +362,31 @@ void PvnClient::on_session_outcome(const DeployOutcome& outcome) {
 }
 
 void PvnClient::enter_active(const DeployOutcome& outcome) {
+  if (migrating_) {
+    // The new deployment is live; switch over. The old chain keeps serving
+    // in-flight packets for the drain window, then is torn down.
+    migrating_ = false;
+    lease_span_.finish();
+    const Ipv4Addr old_server = migrate_from_server_;
+    cancel_timer(drain_timer_);
+    drain_timer_ = host_->sim().schedule_after(
+        migrate_drain_, SimCategory::kPvnControl, [this, old_server] {
+          drain_timer_ = kInvalidEventId;
+          teardown(old_server);
+          ++migrations_;
+          m_migrations_->inc();
+          telemetry::SpanRecorder::global().instant("migration_switchover",
+                                                    "pvn", pvnc_.name);
+        });
+  }
   chain_id_ = outcome.chain_id;
   lease_ = outcome.lease_duration;
+  active_server_ = server_;
   renew_misses_ = 0;
   fallback_delay_ = 0;
   degraded_modules_.clear();
   cancel_timer(fallback_timer_);
+  cancel_timer(renew_timer_);  // a migrated-from lease may still have one
   if (in_fallback_) {
     in_fallback_ = false;
     ++recoveries_;
@@ -345,12 +398,32 @@ void PvnClient::enter_active(const DeployOutcome& outcome) {
   lease_span_ =
       telemetry::SpanRecorder::global().start("lease", "pvn", pvnc_.name);
   if (lease_ > 0) {
-    const int div = std::max(1, cfg_.session.renew_divisor);
-    renew_timer_ = host_->sim().schedule_after(lease_ / div, SimCategory::kPvnControl, [this] {
-      renew_timer_ = kInvalidEventId;
-      send_renew();
-    });
+    renew_timer_ = host_->sim().schedule_after(
+        renew_delay(), SimCategory::kPvnControl, [this] {
+          renew_timer_ = kInvalidEventId;
+          send_renew();
+        });
   }
+}
+
+void PvnClient::migrate(Ipv4Addr new_server, SimDuration drain,
+                        DoneCallback done) {
+  if (!session_ || state_ != SessionState::kActive || in_progress_ ||
+      migrating_) {
+    if (done) {
+      DeployOutcome outcome;
+      outcome.failure = "no active session to migrate";
+      done(outcome);
+    }
+    return;
+  }
+  migrating_ = true;
+  migrate_from_server_ = active_server_;
+  migrate_from_chain_ = chain_id_;
+  migrate_drain_ = drain;
+  telemetry::SpanRecorder::global().instant("migration_begin", "pvn",
+                                            pvnc_.name);
+  discover_and_deploy(new_server, std::move(done));
 }
 
 void PvnClient::enter_fallback() {
@@ -393,16 +466,18 @@ void PvnClient::send_renew() {
   renew.seq = ++renew_seq_;
   renew.device_id = pvnc_.name;
   renew.chain_id = chain_id_;
-  host_->send_udp(server_, local_port_, kPvnPort,
+  // Renew against the server holding the lease: during a migration
+  // `server_` already points at the new network.
+  host_->send_udp(active_server_, local_port_, kPvnPort,
                   wrap(PvnMsgType::kLeaseRenew, renew.encode()));
   ++renews_sent_;
   m_renews_sent_->inc();
   ++renew_misses_;  // cleared when the ack arrives
-  const int div = std::max(1, cfg_.session.renew_divisor);
-  renew_timer_ = host_->sim().schedule_after(lease_ / div, SimCategory::kPvnControl, [this] {
-    renew_timer_ = kInvalidEventId;
-    send_renew();
-  });
+  renew_timer_ = host_->sim().schedule_after(
+      renew_delay(), SimCategory::kPvnControl, [this] {
+        renew_timer_ = kInvalidEventId;
+        send_renew();
+      });
 }
 
 void PvnClient::on_lease_ack(const LeaseAck& ack) {

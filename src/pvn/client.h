@@ -57,6 +57,10 @@ struct RetryPolicy {
 // Session-mode (lease + failover) parameters.
 struct SessionConfig {
   int renew_divisor = 3;        // renew every lease_duration / renew_divisor
+  // Renewal periods are jittered uniformly in [1-j, 1+j]. Without this a
+  // fleet of clients deployed in the same instant renews in lockstep
+  // forever, hammering the server with a synchronized burst each period.
+  double renew_jitter = 0.1;
   int renew_miss_limit = 2;     // unanswered renewals before failover
   SimDuration fallback_retry = seconds(5);   // first rediscovery delay
   double fallback_backoff = 1.5;
@@ -105,6 +109,16 @@ class PvnClient {
   void start_session(Ipv4Addr server, DoneCallback done = nullptr);
   void stop_session();
 
+  // Live migration (requires an active session): deploys against
+  // `new_server` while the old session keeps serving traffic, asking the
+  // new server to pull the old chain's state (kStateRequest handoff). On
+  // success the client drains in-flight packets for `drain` before tearing
+  // the old deployment down; on failure it simply stays on the old session
+  // (no fallback). `done` fires with the new deployment's outcome.
+  void migrate(Ipv4Addr new_server, SimDuration drain,
+               DoneCallback done = nullptr);
+  bool migrating() const { return migrating_; }
+
   // Tunnel enabled while the session is in fallback. Must outlive the
   // session. Optional: without it the client still rediscovers, it just
   // has no data-plane escape hatch in the meantime.
@@ -125,6 +139,7 @@ class PvnClient {
   std::uint64_t recoveries() const { return recoveries_; }
   std::uint64_t renews_sent() const { return renews_sent_; }
   std::uint64_t renews_acked() const { return renews_acked_; }
+  std::uint64_t migrations() const { return migrations_; }
 
  private:
   void on_packet(const Bytes& payload);
@@ -144,6 +159,7 @@ class PvnClient {
   void on_lease_ack(const LeaseAck& ack);
 
   SimDuration jittered(SimDuration base, int attempt) const;
+  SimDuration renew_delay() const;
   void cancel_timer(EventId& id);
 
   Host* host_;
@@ -185,11 +201,22 @@ class PvnClient {
   EventId renew_timer_ = kInvalidEventId;
   EventId fallback_timer_ = kInvalidEventId;
 
+  // Migration state. `active_server_` is where the current lease lives:
+  // during a migration `server_` already points at the new network while
+  // renewals must keep flowing to the old one.
+  bool migrating_ = false;
+  Ipv4Addr active_server_;
+  Ipv4Addr migrate_from_server_;
+  std::string migrate_from_chain_;
+  SimDuration migrate_drain_ = 0;
+  EventId drain_timer_ = kInvalidEventId;
+
   std::uint64_t retransmissions_ = 0;
   std::uint64_t failovers_ = 0;
   std::uint64_t recoveries_ = 0;
   std::uint64_t renews_sent_ = 0;
   std::uint64_t renews_acked_ = 0;
+  std::uint64_t migrations_ = 0;
 
   // Telemetry: aggregate control-plane counters plus the spans currently
   // open for this client's session track (session id = device id).
@@ -203,6 +230,7 @@ class PvnClient {
   telemetry::Counter* m_recoveries_ = nullptr;
   telemetry::Counter* m_renews_sent_ = nullptr;
   telemetry::Counter* m_renews_acked_ = nullptr;
+  telemetry::Counter* m_migrations_ = nullptr;
   telemetry::Span cycle_span_;  // discover_and_deploy -> finish
   telemetry::Span phase_span_;  // current phase: discovery or deploy
   telemetry::Span lease_span_;  // active lease: enter_active -> loss/stop

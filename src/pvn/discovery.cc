@@ -67,6 +67,7 @@ Bytes Offer::encode() const {
   encode_strings(w, offered_modules);
   w.f64(total_price);
   w.i64(expires_at);
+  w.u8(standby_capacity ? 1 : 0);
   return std::move(w).take();
 }
 
@@ -79,6 +80,7 @@ std::optional<Offer> Offer::decode(const Bytes& raw) {
   o.offered_modules = decode_strings(r);
   o.total_price = r.f64();
   o.expires_at = r.i64();
+  o.standby_capacity = r.u8() != 0;
   if (!r.exhausted()) return std::nullopt;
   return o;
 }
@@ -91,6 +93,8 @@ Bytes DeployRequest::encode() const {
   w.str(pvnc_uri);
   w.f64(payment);
   encode_strings(w, required_modules);
+  w.u32(handoff_server.v);
+  w.str(handoff_chain_id);
   return std::move(w).take();
 }
 
@@ -107,6 +111,8 @@ std::optional<DeployRequest> DeployRequest::decode(const Bytes& raw) {
   m.pvnc_uri = r.str();
   m.payment = r.f64();
   m.required_modules = decode_strings(r);
+  m.handoff_server = Ipv4Addr(r.u32());
+  m.handoff_chain_id = r.str();
   if (!r.exhausted()) return std::nullopt;
   return m;
 }
@@ -131,6 +137,8 @@ Bytes DeployAck::encode() const {
   w.str(chain_id);
   w.u8(dhcp_refresh ? 1 : 0);
   w.i64(lease_duration);
+  w.u8(standby ? 1 : 0);
+  w.u8(state_restored ? 1 : 0);
   return std::move(w).take();
 }
 
@@ -141,6 +149,8 @@ std::optional<DeployAck> DeployAck::decode(const Bytes& raw) {
   m.chain_id = r.str();
   m.dhcp_refresh = r.u8() != 0;
   m.lease_duration = r.i64();
+  m.standby = r.u8() != 0;
+  m.state_restored = r.u8() != 0;
   if (!r.exhausted() || m.lease_duration < 0) return std::nullopt;
   return m;
 }
@@ -211,6 +221,46 @@ std::optional<Teardown> Teardown::decode(const Bytes& raw) {
   ByteReader r(raw);
   Teardown m;
   m.device_id = r.str();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+Bytes StateRequest::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.str(device_id);
+  w.str(chain_id);
+  return std::move(w).take();
+}
+
+std::optional<StateRequest> StateRequest::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  StateRequest m;
+  m.seq = r.u32();
+  m.device_id = r.str();
+  m.chain_id = r.str();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+Bytes StateTransfer::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.str(device_id);
+  w.str(chain_id);
+  w.u8(ok ? 1 : 0);
+  w.blob(checkpoint);
+  return std::move(w).take();
+}
+
+std::optional<StateTransfer> StateTransfer::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  StateTransfer m;
+  m.seq = r.u32();
+  m.device_id = r.str();
+  m.chain_id = r.str();
+  m.ok = r.u8() != 0;
+  m.checkpoint = r.blob();
   if (!r.exhausted()) return std::nullopt;
   return m;
 }

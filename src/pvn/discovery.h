@@ -36,6 +36,11 @@ enum class PvnMsgType : std::uint8_t {
   kTeardownAck = 7,
   kLeaseRenew = 8,
   kLeaseAck = 9,
+  // Survivability (state checkpoint exchange): a server asks a peer for a
+  // device's final chain checkpoint during live migration, and checkpoints
+  // stream to warm standbys / migration targets as kStateTransfer.
+  kStateRequest = 10,
+  kStateTransfer = 11,
 };
 
 struct DiscoveryMessage {
@@ -56,6 +61,9 @@ struct Offer {
   std::vector<std::string> offered_modules;  // may be a subset
   double total_price = 0.0;
   SimTime expires_at = 0;
+  // The network has a second mbox host and will place a warm-standby chain
+  // (checkpoint-fed) next to every deployment it accepts.
+  bool standby_capacity = false;
 
   Bytes encode() const;
   static std::optional<Offer> decode(const Bytes& raw);
@@ -75,6 +83,12 @@ struct DeployRequest {
   // these is later lost to a middlebox failure the server must reject the
   // lease (the client falls back to tunneling) instead of degrading.
   std::vector<std::string> required_modules;
+  // Live migration handoff: when handoff_server is set, the device carries
+  // an active deployment (`handoff_chain_id`) on that server, and this
+  // server should fetch its final state checkpoint (kStateRequest) before
+  // acking, so stateful modules resume instead of cold-starting.
+  Ipv4Addr handoff_server;
+  std::string handoff_chain_id;
 
   Bytes encode() const;
   static std::optional<DeployRequest> decode(const Bytes& raw);
@@ -90,6 +104,11 @@ struct DeployAck {
   // How long the deployment stays alive without a renew (0 = no lease: the
   // chain persists until an explicit teardown).
   SimDuration lease_duration = 0;
+  // A warm-standby chain backs this deployment (crashes promote instead of
+  // falling back to the device tunnel).
+  bool standby = false;
+  // The deployment resumed from a migration handoff checkpoint.
+  bool state_restored = false;
 
   Bytes encode() const;
   static std::optional<DeployAck> decode(const Bytes& raw);
@@ -130,6 +149,32 @@ struct Teardown {
 
   Bytes encode() const;
   static std::optional<Teardown> decode(const Bytes& raw);
+};
+
+// Asks the server holding `chain_id` for `device_id` to reply with that
+// chain's final checkpoint (live migration, new server -> old server).
+struct StateRequest {
+  std::uint32_t seq = 0;
+  std::string device_id;
+  std::string chain_id;
+
+  Bytes encode() const;
+  static std::optional<StateRequest> decode(const Bytes& raw);
+};
+
+// Carries one digest-protected ChainCheckpoint (mbox/checkpoint.h): either
+// a periodic incremental toward a warm standby, or the final full snapshot
+// answering a StateRequest. `checkpoint` is opaque here; receivers validate
+// it with ChainCheckpoint::decode, which rejects any corruption outright.
+struct StateTransfer {
+  std::uint32_t seq = 0;
+  std::string device_id;
+  std::string chain_id;
+  bool ok = false;       // false: the sender had no state to hand over
+  Bytes checkpoint;
+
+  Bytes encode() const;
+  static std::optional<StateTransfer> decode(const Bytes& raw);
 };
 
 // Wraps/unwraps a typed message for the UDP payload.

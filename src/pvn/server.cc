@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "mbox/checkpoint.h"
 #include "proto/http.h"
+#include "pvn/standby.h"
 
 namespace pvn {
 
@@ -25,17 +27,37 @@ DeploymentServer::DeploymentServer(Host& host, PvnStore& store,
   m_leases_expired_ = &reg.counter("pvn.server.leases_expired");
   m_degraded_ = &reg.counter("pvn.server.degraded");
   m_chains_lost_ = &reg.counter("pvn.server.chains_lost");
+  m_standbys_ready_ = &reg.counter("pvn.server.standbys_ready");
+  m_standby_promotions_ = &reg.counter("pvn.server.standby_promotions");
+  m_standbys_lost_ = &reg.counter("pvn.server.standbys_lost");
+  m_checkpoints_streamed_ = &reg.counter("pvn.server.checkpoints_streamed");
+  m_checkpoint_bytes_ = &reg.counter("pvn.server.checkpoint_bytes");
+  m_state_requests_ = &reg.counter("pvn.server.state_requests");
+  m_handoffs_completed_ = &reg.counter("pvn.server.handoffs_completed");
+  m_handoff_timeouts_ = &reg.counter("pvn.server.handoff_timeouts");
   telemetry::SpanRecorder::global().set_clock(&host_->sim());
   host_->bind_udp(kPvnPort, [this](Ipv4Addr src, Port sport, Port,
                                    const Bytes& payload) {
     on_packet(src, sport, payload);
   });
   mbox_host_->set_crash_listener([this] { on_mbox_crash(); });
+  if (cfg_.standby_host != nullptr) {
+    cfg_.standby_host->set_crash_listener([this] { on_standby_crash(); });
+  }
 }
 
 DeploymentServer::~DeploymentServer() {
   if (sweep_timer_ != kInvalidEventId) host_->sim().cancel(sweep_timer_);
+  for (auto& [device_id, dep] : deployments_) {
+    if (dep.ckpt_timer != kInvalidEventId) host_->sim().cancel(dep.ckpt_timer);
+  }
+  for (auto& [device_id, ph] : pending_handoffs_) {
+    if (ph.timer != kInvalidEventId) host_->sim().cancel(ph.timer);
+  }
   mbox_host_->set_crash_listener(nullptr);
+  if (cfg_.standby_host != nullptr) {
+    cfg_.standby_host->set_crash_listener(nullptr);
+  }
   host_->unbind_udp(kPvnPort);
 }
 
@@ -65,6 +87,18 @@ void DeploymentServer::on_packet(Ipv4Addr src, Port sport,
     case PvnMsgType::kLeaseRenew: {
       if (const auto renew = LeaseRenew::decode(msg->second)) {
         handle_renew(src, sport, *renew);
+      }
+      break;
+    }
+    case PvnMsgType::kStateRequest: {
+      if (const auto sr = StateRequest::decode(msg->second)) {
+        handle_state_request(src, sport, *sr);
+      }
+      break;
+    }
+    case PvnMsgType::kStateTransfer: {
+      if (const auto xfer = StateTransfer::decode(msg->second)) {
+        handle_state_transfer(*xfer);
       }
       break;
     }
@@ -103,6 +137,8 @@ void DeploymentServer::handle_discovery(Ipv4Addr src, Port sport,
   offer.total_price =
       store_->price_of(offer.offered_modules) * cfg_.price_multiplier;
   offer.expires_at = host_->sim().now() + cfg_.offer_ttl;
+  offer.standby_capacity =
+      cfg_.standby_host != nullptr && !cfg_.standby_host->crashed();
   m_offers_sent_->inc();
   host_->send_udp(src, kPvnPort, sport,
                   wrap(PvnMsgType::kOffer, offer.encode()));
@@ -237,6 +273,7 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
   deployment->module_names = req.pvnc.module_names();
   deployment->required_modules = req.required_modules;
   deployment->request_bytes = req_bytes;
+  deployment->pvnc = req.pvnc;
 
   pending_[req.device_id] = req_bytes;
 
@@ -275,7 +312,7 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
                              meter.burst_bytes);
     }
     const auto ack_deployment = [this, src, sport, req, deployment, price,
-                                 deploy_span] {
+                                 deploy_span](bool state_restored) {
       if (cfg_.lease_duration > 0) {
         deployment->expires_at = host_->sim().now() + cfg_.lease_duration;
       }
@@ -283,6 +320,9 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
       ack.seq = req.seq;
       ack.chain_id = deployment->chain_id;
       ack.lease_duration = cfg_.lease_duration;
+      ack.standby =
+          cfg_.standby_host != nullptr && !cfg_.standby_host->crashed();
+      ack.state_restored = state_restored;
       deployment->ack_bytes = wrap(PvnMsgType::kDeployAck, ack.encode());
       deployments_[req.device_id] = *deployment;
       pending_.erase(req.device_id);
@@ -295,17 +335,28 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
       host_->send_udp(src, kPvnPort, sport, deployment->ack_bytes);
       deploy_span->finish();
       arm_sweep();
+      setup_standby(req.device_id);
+    };
+    // Once the dataplane is programmed: a migrating device (handoff_server
+    // set) first pulls its session state from the old server; everyone else
+    // is acked immediately with a cold chain.
+    const auto after_rules = [this, req, chain_id, ack_deployment] {
+      if (req.handoff_server.is_unspecified()) {
+        ack_deployment(false);
+      } else {
+        begin_handoff(req, chain_id, ack_deployment);
+      }
     };
     auto pending = std::make_shared<int>(static_cast<int>(compiled.rules.size()));
     for (const auto& [table, rule] : compiled.rules) {
       controller_->install_rule(cfg_.switch_name, table, rule,
-                                [pending, ack_deployment](bool ok) {
+                                [pending, after_rules](bool ok) {
                                   (void)ok;
                                   if (--*pending > 0) return;
-                                  ack_deployment();  // all rules in
+                                  after_rules();  // all rules in
                                 });
     }
-    if (compiled.rules.empty()) ack_deployment();
+    if (compiled.rules.empty()) after_rules();
   };
 
   std::vector<PvncModule> to_instantiate;
@@ -354,9 +405,14 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
 }
 
 void DeploymentServer::teardown_device(const std::string& device_id) {
+  cancel_handoff(device_id);
   const auto it = deployments_.find(device_id);
   if (it == deployments_.end()) return;
-  const Deployment& dep = it->second;
+  Deployment& dep = it->second;
+  if (dep.ckpt_timer != kInvalidEventId) {
+    host_->sim().cancel(dep.ckpt_timer);
+    dep.ckpt_timer = kInvalidEventId;
+  }
   controller_->remove_by_cookie(dep.cookie);
   if (SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name)) {
     sw->unregister_processor(dep.chain_id);
@@ -366,6 +422,11 @@ void DeploymentServer::teardown_device(const std::string& device_id) {
   if (dep.mbox_generation == mbox_host_->crashes()) {
     for (Middlebox* m : dep.instances) mbox_host_->destroy(m);
     mbox_host_->destroy_chain(dep.chain_id);
+  }
+  if (cfg_.standby_host != nullptr &&
+      dep.standby_generation == cfg_.standby_host->crashes()) {
+    for (Middlebox* m : dep.standby_instances) cfg_.standby_host->destroy(m);
+    cfg_.standby_host->destroy_chain(dep.chain_id);
   }
   deployments_.erase(it);
 }
@@ -409,28 +470,28 @@ void DeploymentServer::on_mbox_crash() {
   std::vector<std::string> to_teardown;
   for (auto& [device_id, dep] : deployments_) {
     if (dep.mbox_generation == mbox_host_->crashes()) continue;  // unaffected
+    if (dep.promoted) continue;  // already running on the standby host
     if (sw != nullptr) sw->unregister_processor(dep.chain_id);
-    // Can the deployment limp along without its chain? Only if no module
-    // the client marked as required just died.
-    bool required_lost = false;
-    for (const std::string& module : dep.required_modules) {
-      if (std::find(dep.module_names.begin(), dep.module_names.end(),
-                    module) != dep.module_names.end()) {
-        required_lost = true;
-        break;
+    // Warm standby first: promote it through the controller so the client
+    // sees one control-RTT of elevated latency instead of losing the chain.
+    if (dep.standby_ready && cfg_.standby_host != nullptr &&
+        dep.standby_generation == cfg_.standby_host->crashes()) {
+      if (Chain* standby = cfg_.standby_host->chain(dep.chain_id)) {
+        dep.promoted = true;
+        if (dep.ckpt_timer != kInvalidEventId) {
+          host_->sim().cancel(dep.ckpt_timer);
+          dep.ckpt_timer = kInvalidEventId;
+        }
+        controller_->promote_chain(cfg_.switch_name, dep.chain_id, standby);
+        ++standby_promotions_;
+        m_standby_promotions_->inc();
+        telemetry::SpanRecorder::global().instant("standby_promoted", "pvn",
+                                                  device_id);
+        continue;
       }
     }
-    if (required_lost || dep.degraded) {
+    if (degrade_or_flag_teardown(device_id, dep)) {
       to_teardown.push_back(device_id);
-    } else {
-      // Graceful degradation: strip only the chain-divert rules so traffic
-      // flows past the dead chain; policies (drop/rate/mark) stay.
-      dep.degraded = true;
-      controller_->bypass_chain(dep.cookie, dep.chain_id);
-      ++degraded_;
-      m_degraded_->inc();
-      telemetry::SpanRecorder::global().instant("chain_degraded", "pvn",
-                                                device_id);
     }
   }
   for (const std::string& device_id : to_teardown) {
@@ -439,6 +500,30 @@ void DeploymentServer::on_mbox_crash() {
     telemetry::SpanRecorder::global().instant("chain_lost", "pvn", device_id);
     teardown_device(device_id);
   }
+}
+
+bool DeploymentServer::degrade_or_flag_teardown(const std::string& device_id,
+                                                Deployment& dep) {
+  // Can the deployment limp along without its chain? Only if no module
+  // the client marked as required just died.
+  bool required_lost = false;
+  for (const std::string& module : dep.required_modules) {
+    if (std::find(dep.module_names.begin(), dep.module_names.end(), module) !=
+        dep.module_names.end()) {
+      required_lost = true;
+      break;
+    }
+  }
+  if (required_lost || dep.degraded) return true;
+  // Graceful degradation: strip only the chain-divert rules so traffic
+  // flows past the dead chain; policies (drop/rate/mark) stay.
+  dep.degraded = true;
+  controller_->bypass_chain(dep.cookie, dep.chain_id);
+  ++degraded_;
+  m_degraded_->inc();
+  telemetry::SpanRecorder::global().instant("chain_degraded", "pvn",
+                                            device_id);
+  return false;
 }
 
 void DeploymentServer::arm_sweep() {
@@ -468,6 +553,244 @@ void DeploymentServer::sweep() {
     teardown_device(device_id);
   }
   arm_sweep();
+}
+
+// --- survivability ---------------------------------------------------------
+
+void DeploymentServer::setup_standby(const std::string& device_id) {
+  MboxHost* standby = cfg_.standby_host;
+  if (standby == nullptr || standby->crashed()) return;
+  const auto it = deployments_.find(device_id);
+  if (it == deployments_.end()) return;
+  Deployment& dep = it->second;
+  dep.standby_generation = standby->crashes();
+  const std::string chain_id = dep.chain_id;
+
+  std::vector<std::unique_ptr<Middlebox>> instances;
+  for (const PvncModule& module : dep.pvnc.chain) {
+    if (module.store_name == skip_module_) continue;  // mirror the primary
+    std::unique_ptr<Middlebox> instance =
+        store_->make(module.store_name, module.params);
+    if (instance == nullptr) return;  // store changed under us; no spare
+    instances.push_back(std::move(instance));
+  }
+  standby->create_chain(chain_id);
+  if (instances.empty()) {
+    dep.standby_ready = true;
+    ++standbys_ready_;
+    m_standbys_ready_->inc();
+    arm_checkpoint(device_id);
+    return;
+  }
+  auto remaining = std::make_shared<int>(static_cast<int>(instances.size()));
+  auto failed = std::make_shared<bool>(false);
+  auto acc = std::make_shared<std::vector<Middlebox*>>();
+  const int generation = standby->crashes();
+  for (std::unique_ptr<Middlebox>& instance : instances) {
+    standby->instantiate(
+        std::move(instance),
+        [this, device_id, chain_id, remaining, failed, acc, generation,
+         standby](Middlebox* mbox) {
+          if (mbox == nullptr) {
+            *failed = true;  // standby pool crashed or out of memory
+          } else {
+            acc->push_back(mbox);
+          }
+          if (--*remaining > 0) return;
+          if (generation != standby->crashes()) return;  // crash freed them
+          const auto dit = deployments_.find(device_id);
+          if (*failed || dit == deployments_.end() ||
+              dit->second.chain_id != chain_id) {
+            // Deployment vanished meanwhile (teardown / redeploy) or the
+            // mirror is partial: release the spare capacity.
+            for (Middlebox* m : *acc) standby->destroy(m);
+            standby->destroy_chain(chain_id);
+            return;
+          }
+          Chain* chain = standby->chain(chain_id);
+          for (Middlebox* m : *acc) chain->append(m);
+          dit->second.standby_instances = *acc;
+          dit->second.standby_ready = true;
+          ++standbys_ready_;
+          m_standbys_ready_->inc();
+          telemetry::SpanRecorder::global().instant("standby_ready", "pvn",
+                                                    device_id);
+          arm_checkpoint(device_id);
+        });
+  }
+}
+
+void DeploymentServer::arm_checkpoint(const std::string& device_id) {
+  if (cfg_.checkpoint_interval <= 0) return;  // cold standby
+  const auto it = deployments_.find(device_id);
+  if (it == deployments_.end() || it->second.ckpt_timer != kInvalidEventId) {
+    return;
+  }
+  it->second.ckpt_timer = host_->sim().schedule_after(
+      cfg_.checkpoint_interval, SimCategory::kPvnControl, [this, device_id] {
+        const auto dit = deployments_.find(device_id);
+        if (dit == deployments_.end()) return;
+        dit->second.ckpt_timer = kInvalidEventId;
+        stream_checkpoint(device_id);
+      });
+}
+
+void DeploymentServer::stream_checkpoint(const std::string& device_id) {
+  const auto it = deployments_.find(device_id);
+  if (it == deployments_.end()) return;
+  Deployment& dep = it->second;
+  if (dep.promoted || !dep.standby_ready || dep.degraded) return;
+  if (dep.mbox_generation != mbox_host_->crashes()) return;  // primary gone
+  Chain* chain = mbox_host_->chain(dep.chain_id);
+  if (chain == nullptr) return;
+  const ChainCheckpoint ckpt = capture_chain(*chain, ++dep.ckpt_seq,
+                                             host_->sim().now(),
+                                             &dep.ckpt_digests);
+  StateTransfer xfer;
+  xfer.seq = static_cast<std::uint32_t>(ckpt.seq);
+  xfer.device_id = device_id;
+  xfer.chain_id = dep.chain_id;
+  xfer.ok = true;
+  xfer.checkpoint = ckpt.encode();
+  ++checkpoints_streamed_;
+  m_checkpoints_streamed_->inc();
+  checkpoint_bytes_ += xfer.checkpoint.size();
+  m_checkpoint_bytes_->inc(xfer.checkpoint.size());
+  host_->send_udp(cfg_.standby_addr, kPvnPort, kPvnStandbyPort,
+                  wrap(PvnMsgType::kStateTransfer, xfer.encode()));
+  arm_checkpoint(device_id);
+}
+
+void DeploymentServer::on_standby_crash() {
+  // Runs synchronously from the standby MboxHost's crash().
+  SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name);
+  std::vector<std::string> to_teardown;
+  for (auto& [device_id, dep] : deployments_) {
+    if (dep.standby_instances.empty() && !dep.standby_ready) continue;
+    if (dep.standby_generation == cfg_.standby_host->crashes()) continue;
+    if (dep.ckpt_timer != kInvalidEventId) {
+      host_->sim().cancel(dep.ckpt_timer);
+      dep.ckpt_timer = kInvalidEventId;
+    }
+    dep.standby_ready = false;
+    dep.standby_instances.clear();
+    ++standbys_lost_;
+    m_standbys_lost_->inc();
+    if (!dep.promoted) continue;  // primary still serving; just lost the spare
+    // The live (promoted) chain died with the standby host.
+    if (sw != nullptr) sw->unregister_processor(dep.chain_id);
+    if (degrade_or_flag_teardown(device_id, dep)) {
+      to_teardown.push_back(device_id);
+    }
+  }
+  for (const std::string& device_id : to_teardown) {
+    ++chains_lost_;
+    m_chains_lost_->inc();
+    telemetry::SpanRecorder::global().instant("chain_lost", "pvn", device_id);
+    teardown_device(device_id);
+  }
+}
+
+void DeploymentServer::begin_handoff(const DeployRequest& req,
+                                     const std::string& chain_id,
+                                     std::function<void(bool)> ack) {
+  cancel_handoff(req.device_id);  // a newer deploy supersedes a stale pull
+  const std::string device_id = req.device_id;
+  PendingHandoff ph;
+  ph.chain_id = chain_id;
+  ph.seq = ++state_seq_;
+  ph.ack = std::move(ack);
+  ph.timer = host_->sim().schedule_after(
+      cfg_.handoff_timeout, SimCategory::kPvnControl, [this, device_id] {
+        const auto it = pending_handoffs_.find(device_id);
+        if (it == pending_handoffs_.end()) return;
+        auto ack_fn = std::move(it->second.ack);
+        it->second.timer = kInvalidEventId;
+        pending_handoffs_.erase(it);
+        ++handoff_timeouts_;
+        m_handoff_timeouts_->inc();
+        telemetry::SpanRecorder::global().instant("handoff_timeout", "pvn",
+                                                  device_id);
+        ack_fn(false);  // old server unreachable: ack with a cold chain
+      });
+  StateRequest sr;
+  sr.seq = ph.seq;
+  sr.device_id = req.device_id;
+  sr.chain_id = req.handoff_chain_id;
+  pending_handoffs_[device_id] = std::move(ph);
+  telemetry::SpanRecorder::global().instant("handoff_begin", "pvn",
+                                            device_id);
+  host_->send_udp(req.handoff_server, kPvnPort, kPvnPort,
+                  wrap(PvnMsgType::kStateRequest, sr.encode()));
+}
+
+void DeploymentServer::handle_state_request(Ipv4Addr src, Port sport,
+                                            const StateRequest& sr) {
+  StateTransfer xfer;
+  xfer.seq = sr.seq;
+  xfer.device_id = sr.device_id;
+  xfer.chain_id = sr.chain_id;
+  const auto it = deployments_.find(sr.device_id);
+  if (it != deployments_.end() && it->second.chain_id == sr.chain_id) {
+    Deployment& dep = it->second;
+    // The authoritative chain: the standby if traffic was promoted there,
+    // otherwise the primary (unless it died or was bypassed).
+    Chain* chain = nullptr;
+    if (dep.promoted && cfg_.standby_host != nullptr &&
+        dep.standby_generation == cfg_.standby_host->crashes()) {
+      chain = cfg_.standby_host->chain(dep.chain_id);
+    } else if (!dep.promoted && !dep.degraded &&
+               dep.mbox_generation == mbox_host_->crashes()) {
+      chain = mbox_host_->chain(dep.chain_id);
+    }
+    if (chain != nullptr) {
+      const ChainCheckpoint ckpt =
+          capture_chain(*chain, ++dep.ckpt_seq, host_->sim().now());
+      xfer.ok = true;
+      xfer.checkpoint = ckpt.encode();
+      ++state_requests_;
+      m_state_requests_->inc();
+      telemetry::SpanRecorder::global().instant("state_transfer_out", "pvn",
+                                                sr.device_id);
+    }
+  }
+  host_->send_udp(src, kPvnPort, sport,
+                  wrap(PvnMsgType::kStateTransfer, xfer.encode()));
+}
+
+void DeploymentServer::handle_state_transfer(const StateTransfer& xfer) {
+  const auto it = pending_handoffs_.find(xfer.device_id);
+  if (it == pending_handoffs_.end() || it->second.seq != xfer.seq) return;
+  PendingHandoff ph = std::move(it->second);
+  pending_handoffs_.erase(it);
+  if (ph.timer != kInvalidEventId) host_->sim().cancel(ph.timer);
+  bool restored = false;
+  if (xfer.ok) {
+    // Restore matches modules by name, so the old chain's snapshot applies
+    // to the freshly deployed chain even though the chain ids differ. A
+    // corrupted checkpoint decodes to nullopt: the new chain stays cold.
+    if (const auto ckpt = ChainCheckpoint::decode(xfer.checkpoint)) {
+      if (Chain* chain = mbox_host_->chain(ph.chain_id)) {
+        restored = restore_chain(*chain, *ckpt) > 0;
+      }
+    }
+  }
+  if (restored) {
+    ++handoffs_completed_;
+    m_handoffs_completed_->inc();
+    telemetry::SpanRecorder::global().instant("handoff_complete", "pvn",
+                                              xfer.device_id);
+  }
+  ph.ack(restored);
+}
+
+void DeploymentServer::cancel_handoff(const std::string& device_id) {
+  const auto it = pending_handoffs_.find(device_id);
+  if (it == pending_handoffs_.end()) return;
+  if (it->second.timer != kInvalidEventId) {
+    host_->sim().cancel(it->second.timer);
+  }
+  pending_handoffs_.erase(it);
 }
 
 }  // namespace pvn

@@ -56,6 +56,22 @@ struct ServerConfig {
   // it sits behind. When unset, switch_client_port is used for everyone.
   std::function<int(Ipv4Addr)> client_port_for;
   std::string network_name = "access-net";
+
+  // --- survivability (warm standby + migration) ------------------------
+  // A second mbox compute pool. When set, offers advertise standby
+  // capacity, every deployment gets a warm-standby chain here, and a
+  // primary crash promotes the standby through the controller instead of
+  // degrading or tearing down. Must outlive the server.
+  MboxHost* standby_host = nullptr;
+  // Address of the StandbyAgent fronting standby_host; incremental
+  // checkpoints stream to it as kStateTransfer datagrams.
+  Ipv4Addr standby_addr;
+  // Period of the incremental checkpoint stream; bounds the staleness of
+  // promoted state. <= 0 disables streaming (cold standby).
+  SimDuration checkpoint_interval = milliseconds(200);
+  // Migration: how long to wait for the old server's kStateTransfer before
+  // acking the deployment with a cold chain.
+  SimDuration handoff_timeout = milliseconds(500);
 };
 
 class DeploymentServer {
@@ -74,6 +90,15 @@ class DeploymentServer {
   std::uint64_t leases_expired() const { return leases_expired_; }
   std::uint64_t degraded_deployments() const { return degraded_; }
   std::uint64_t chains_lost() const { return chains_lost_; }
+  // Survivability telemetry.
+  std::uint64_t standbys_ready() const { return standbys_ready_; }
+  std::uint64_t standby_promotions() const { return standby_promotions_; }
+  std::uint64_t standbys_lost() const { return standbys_lost_; }
+  std::uint64_t checkpoints_streamed() const { return checkpoints_streamed_; }
+  std::uint64_t checkpoint_bytes() const { return checkpoint_bytes_; }
+  std::uint64_t state_requests_served() const { return state_requests_; }
+  std::uint64_t handoffs_completed() const { return handoffs_completed_; }
+  std::uint64_t handoff_timeouts() const { return handoff_timeouts_; }
 
   // Test/experiment hook: makes the server a cheater that silently skips
   // instantiating the named module while still charging for it (§3.3
@@ -99,6 +124,23 @@ class DeploymentServer {
     bool degraded = false;
     std::vector<std::string> module_names;
     std::vector<std::string> required_modules;  // from the client
+    // Survivability bookkeeping.
+    Pvnc pvnc;                   // retained to instantiate the standby chain
+    std::vector<Middlebox*> standby_instances;
+    int standby_generation = 0;  // standby host crashes() at instantiation
+    bool standby_ready = false;
+    bool promoted = false;       // traffic now runs on the standby chain
+    std::uint64_t ckpt_seq = 0;
+    std::map<std::string, Digest> ckpt_digests;  // incremental-capture state
+    EventId ckpt_timer = kInvalidEventId;
+  };
+
+  // A deployment waiting for the old server's checkpoint (live migration).
+  struct PendingHandoff {
+    std::string chain_id;        // the NEW chain to restore into
+    std::uint32_t seq = 0;       // StateRequest seq, matches the reply
+    std::function<void(bool)> ack;  // ack_deployment(state_restored)
+    EventId timer = kInvalidEventId;
   };
 
   void on_packet(Ipv4Addr src, Port sport, const Bytes& payload);
@@ -116,10 +158,30 @@ class DeploymentServer {
   // instances (unless the MboxHost crash already destroyed them).
   void teardown_device(const std::string& device_id);
   // Invoked synchronously from MboxHost::crash(): unregisters the now-dead
-  // chain processors, then degrades or tears down each affected deployment.
+  // chain processors, then promotes each deployment's warm standby when one
+  // is ready, degrading or tearing down the rest.
   void on_mbox_crash();
   void arm_sweep();
   void sweep();
+
+  // --- survivability ---------------------------------------------------
+  // Instantiates the warm-standby chain for an acked deployment and starts
+  // the incremental checkpoint stream once it is ready.
+  void setup_standby(const std::string& device_id);
+  void arm_checkpoint(const std::string& device_id);
+  void stream_checkpoint(const std::string& device_id);
+  // Standby host crash: promoted deployments lose their chain (degrade or
+  // teardown); unpromoted ones just lose the warm spare.
+  void on_standby_crash();
+  // Degrades `dep` in place when every lost module was optional; returns
+  // true when the deployment must be torn down instead.
+  bool degrade_or_flag_teardown(const std::string& device_id, Deployment& dep);
+  // Migration: fetch the old server's final checkpoint before acking.
+  void begin_handoff(const DeployRequest& req, const std::string& chain_id,
+                     std::function<void(bool)> ack);
+  void handle_state_request(Ipv4Addr src, Port sport, const StateRequest& sr);
+  void handle_state_transfer(const StateTransfer& xfer);
+  void cancel_handoff(const std::string& device_id);
 
   Host* host_;
   PvnStore* store_;
@@ -129,6 +191,7 @@ class DeploymentServer {
   ServerConfig cfg_;
   std::map<std::string, Deployment> deployments_;  // by device id
   std::map<std::string, Bytes> pending_;  // in-flight deploys, encoded request
+  std::map<std::string, PendingHandoff> pending_handoffs_;  // by device id
   std::uint64_t discoveries_ = 0;
   std::uint64_t deploy_count_ = 0;
   std::uint64_t nacks_ = 0;
@@ -137,6 +200,15 @@ class DeploymentServer {
   std::uint64_t leases_expired_ = 0;
   std::uint64_t degraded_ = 0;
   std::uint64_t chains_lost_ = 0;
+  std::uint64_t standbys_ready_ = 0;
+  std::uint64_t standby_promotions_ = 0;
+  std::uint64_t standbys_lost_ = 0;
+  std::uint64_t checkpoints_streamed_ = 0;
+  std::uint64_t checkpoint_bytes_ = 0;
+  std::uint64_t state_requests_ = 0;
+  std::uint64_t handoffs_completed_ = 0;
+  std::uint64_t handoff_timeouts_ = 0;
+  std::uint32_t state_seq_ = 0;  // StateRequest sequence numbers
   std::uint64_t chain_seq_ = 0;
   EventId sweep_timer_ = kInvalidEventId;
   std::string skip_module_;
@@ -151,6 +223,14 @@ class DeploymentServer {
   telemetry::Counter* m_leases_expired_ = nullptr;
   telemetry::Counter* m_degraded_ = nullptr;
   telemetry::Counter* m_chains_lost_ = nullptr;
+  telemetry::Counter* m_standbys_ready_ = nullptr;
+  telemetry::Counter* m_standby_promotions_ = nullptr;
+  telemetry::Counter* m_standbys_lost_ = nullptr;
+  telemetry::Counter* m_checkpoints_streamed_ = nullptr;
+  telemetry::Counter* m_checkpoint_bytes_ = nullptr;
+  telemetry::Counter* m_state_requests_ = nullptr;
+  telemetry::Counter* m_handoffs_completed_ = nullptr;
+  telemetry::Counter* m_handoff_timeouts_ = nullptr;
   std::unique_ptr<class HttpClient> http_;  // for pvnc:// URI resolution
 };
 

@@ -1,0 +1,47 @@
+#include "pvn/standby.h"
+
+namespace pvn {
+
+StandbyAgent::StandbyAgent(Host& host, MboxHost& standby)
+    : host_(&host), standby_(&standby) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  m_applied_ = &reg.counter("pvn.standby.checkpoints_applied");
+  m_rejected_ = &reg.counter("pvn.standby.checkpoints_rejected");
+  m_bytes_ = &reg.counter("pvn.standby.bytes_received");
+  host_->bind_udp(kPvnStandbyPort,
+                  [this](Ipv4Addr, Port, Port, const Bytes& payload) {
+                    on_packet(payload);
+                  });
+}
+
+StandbyAgent::~StandbyAgent() { host_->unbind_udp(kPvnStandbyPort); }
+
+void StandbyAgent::on_packet(const Bytes& payload) {
+  const auto msg = unwrap(payload);
+  if (!msg || msg->first != PvnMsgType::kStateTransfer) return;
+  const auto xfer = StateTransfer::decode(msg->second);
+  if (!xfer || !xfer->ok) return;
+  bytes_ += xfer->checkpoint.size();
+  m_bytes_->inc(xfer->checkpoint.size());
+  const auto ckpt = ChainCheckpoint::decode(xfer->checkpoint);
+  if (!ckpt || ckpt->chain_id != xfer->chain_id) {
+    ++rejected_;
+    m_rejected_->inc();
+    return;
+  }
+  // Datagrams can be duplicated or reordered; never step a chain backwards.
+  if (const auto it = last_seq_.find(ckpt->chain_id);
+      it != last_seq_.end() && ckpt->seq <= it->second) {
+    ++rejected_;
+    m_rejected_->inc();
+    return;
+  }
+  Chain* chain = standby_->chain(ckpt->chain_id);
+  if (chain == nullptr) return;  // standby not (yet) instantiated
+  restore_chain(*chain, *ckpt);
+  last_seq_[ckpt->chain_id] = ckpt->seq;
+  ++applied_;
+  m_applied_->inc();
+}
+
+}  // namespace pvn

@@ -1,0 +1,51 @@
+// Warm-standby checkpoint receiver (survivability layer).
+//
+// A StandbyAgent fronts the standby MboxHost on the access network: the
+// DeploymentServer streams periodic incremental ChainCheckpoints to it as
+// kStateTransfer datagrams over the simulated network, and the agent applies
+// each one to the matching standby chain. When the primary mbox host
+// crashes, the server promotes the standby chain through sdn::Controller;
+// the chain then resumes from the last applied checkpoint, so the staleness
+// of the promoted state is bounded by the checkpoint interval.
+//
+// Corrupted or replayed transfers are rejected whole: the checkpoint codec
+// is digest-protected and the agent drops any seq it has already applied.
+#pragma once
+
+#include "mbox/checkpoint.h"
+#include "proto/host.h"
+#include "pvn/discovery.h"
+#include "telemetry/metrics.h"
+
+namespace pvn {
+
+// UDP port the agent listens on (the deployment protocol itself uses 3030).
+constexpr Port kPvnStandbyPort = 3032;
+
+class StandbyAgent {
+ public:
+  StandbyAgent(Host& host, MboxHost& standby);
+  ~StandbyAgent();
+
+  StandbyAgent(const StandbyAgent&) = delete;
+  StandbyAgent& operator=(const StandbyAgent&) = delete;
+
+  std::uint64_t checkpoints_applied() const { return applied_; }
+  std::uint64_t checkpoints_rejected() const { return rejected_; }
+  std::uint64_t bytes_received() const { return bytes_; }
+
+ private:
+  void on_packet(const Bytes& payload);
+
+  Host* host_;
+  MboxHost* standby_;
+  std::map<std::string, std::uint64_t> last_seq_;  // by chain id
+  std::uint64_t applied_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t bytes_ = 0;
+  telemetry::Counter* m_applied_ = nullptr;
+  telemetry::Counter* m_rejected_ = nullptr;
+  telemetry::Counter* m_bytes_ = nullptr;
+};
+
+}  // namespace pvn

@@ -61,6 +61,28 @@ void Controller::bypass_chain(const std::string& cookie,
   });
 }
 
+void Controller::promote_chain(const std::string& switch_name,
+                               const std::string& chain_id,
+                               PacketProcessor* standby,
+                               std::function<void(bool)> done) {
+  sim_->schedule_after(control_rtt_, SimCategory::kPvnControl,
+                       [this, switch_name, chain_id, standby,
+                        done = std::move(done)] {
+                         SdnSwitch* sw = switch_by_name(switch_name);
+                         if (sw == nullptr || standby == nullptr) {
+                           if (done) done(false);
+                           return;
+                         }
+                         sw->unregister_processor(chain_id);
+                         sw->register_processor(chain_id, standby);
+                         ++promotions_;
+                         telemetry::MetricsRegistry::global()
+                             .counter("sdn.controller.promotions")
+                             .inc();
+                         if (done) done(true);
+                       });
+}
+
 void Controller::add_meter(const std::string& switch_name,
                            const std::string& meter_id, Rate rate,
                            std::int64_t burst_bytes,

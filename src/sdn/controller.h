@@ -35,17 +35,28 @@ class Controller {
   void bypass_chain(const std::string& cookie, const std::string& chain_id,
                     std::function<void(std::size_t)> done = nullptr);
 
+  // Standby promotion (survivability layer): after one control RTT,
+  // re-points every installed ActMbox rule for `chain_id` at `standby` by
+  // re-registering the processor under the same chain id. The compiled flow
+  // rules stay untouched, so the dataplane blackout is bounded by the
+  // control RTT. `done` reports whether the switch was found.
+  void promote_chain(const std::string& switch_name,
+                     const std::string& chain_id, PacketProcessor* standby,
+                     std::function<void(bool)> done = nullptr);
+
   void add_meter(const std::string& switch_name, const std::string& meter_id,
                  Rate rate, std::int64_t burst_bytes,
                  std::function<void(bool)> done = nullptr);
 
   std::uint64_t rules_installed() const { return rules_installed_; }
+  std::uint64_t promotions() const { return promotions_; }
 
  private:
   Simulator* sim_;
   SimDuration control_rtt_;
   std::map<std::string, SdnSwitch*> switches_;
   std::uint64_t rules_installed_ = 0;
+  std::uint64_t promotions_ = 0;
 };
 
 }  // namespace pvn

@@ -1,0 +1,140 @@
+#include "testbed/roaming.h"
+
+namespace pvn {
+
+RoamingTestbed::RoamingTestbed(RoamingConfig cfg) : net(cfg.seed), cfg_(cfg) {
+  // --- nodes ---
+  client = &net.add_node<Host>("client", addrs.client);
+  control_a = &net.add_node<Host>("control-a", addrs.control_a);
+  control_b = &net.add_node<Host>("control-b", addrs.control_b);
+  web = &net.add_node<Host>("web", addrs.web);
+  dns_host = &net.add_node<Host>("dns", addrs.dns);
+  tracker = &net.add_node<Host>("tracker", addrs.tracker);
+  sw_a = &net.add_node<SdnSwitch>(kSwitchA, 2);
+  sw_b = &net.add_node<SdnSwitch>(kSwitchB, 2);
+  wan = &net.add_node<Router>("wan");
+
+  // --- links --- (client port 0 = network A, port 1 = network B)
+  net.connect(*client, *sw_a, cfg.access);      // swA p0
+  net.connect(*client, *sw_b, cfg.access);      // swB p0
+  net.connect(*sw_a, *wan, cfg.backhaul);       // swA p1, wan p0
+  net.connect(*sw_b, *wan, cfg.backhaul);       // swB p1, wan p1
+  net.connect(*sw_a, *control_a, cfg.backhaul); // swA p2
+  net.connect(*sw_b, *control_b, cfg.backhaul); // swB p2
+  net.connect(*wan, *web, cfg.server_link);     // wan p2
+  net.connect(*wan, *dns_host, cfg.server_link);// wan p3
+  net.connect(*wan, *tracker, cfg.server_link); // wan p4
+
+  // --- routing ---
+  // The client's /32 starts on network A; re_attach() flips it to B. The
+  // /24 and /24-style network routes keep each control host reachable from
+  // the other network (that is the state-handoff path).
+  wan->add_route(*Prefix::parse("10.0.0.0/24"), 0);
+  wan->add_route(*Prefix::parse("10.0.1.0/24"), 1);
+  wan->add_route(Prefix{addrs.web, 32}, 2);
+  wan->add_route(Prefix{addrs.dns, 32}, 3);
+  wan->add_route(Prefix{addrs.tracker, 32}, 4);
+
+  // Infrastructure rules, network A (mirrors Testbed).
+  {
+    FlowRule to_control;
+    to_control.priority = 0;
+    to_control.match.dst = Prefix{addrs.control_a, 32};
+    to_control.cookie = "infra";
+    to_control.actions.push_back(ActOutput{2});
+    sw_a->table(0).add(to_control);
+
+    FlowRule to_client;
+    to_client.priority = 0;
+    to_client.match.dst = *Prefix::parse("10.0.0.0/24");
+    to_client.cookie = "infra";
+    to_client.actions.push_back(ActOutput{0});
+    sw_a->table(0).add(to_client);
+
+    FlowRule to_wan;
+    to_wan.priority = 0;
+    to_wan.cookie = "infra";
+    to_wan.actions.push_back(ActOutput{1});
+    sw_a->table(0).add(to_wan);
+  }
+  // Network B. The client keeps its A-network address when it roams, so B
+  // pins a host route for it rather than owning the 10.0.0.0/24 prefix.
+  {
+    FlowRule to_control;
+    to_control.priority = 0;
+    to_control.match.dst = Prefix{addrs.control_b, 32};
+    to_control.cookie = "infra";
+    to_control.actions.push_back(ActOutput{2});
+    sw_b->table(0).add(to_control);
+
+    FlowRule to_client;
+    to_client.priority = 1;  // beats the default before it reaches the wan
+    to_client.match.dst = Prefix{addrs.client, 32};
+    to_client.cookie = "infra";
+    to_client.actions.push_back(ActOutput{0});
+    sw_b->table(0).add(to_client);
+
+    FlowRule to_wan;
+    to_wan.priority = 0;
+    to_wan.cookie = "infra";
+    to_wan.actions.push_back(ActOutput{1});
+    sw_b->table(0).add(to_wan);
+  }
+
+  // --- security environment (shared store inputs) ---
+  root_ca = std::make_unique<CertificateAuthority>("RoamingRootCA", 11);
+  trust.trust_root(*root_ca);
+  dns_trusted.trust(dns_zone_key);
+
+  web_http = std::make_unique<HttpServer>(*web);
+  dns_server = std::make_unique<DnsServer>(*dns_host, &dns_zone_key);
+  dns_server->add_record("web.example", addrs.web);
+
+  store_env.tls_trust = &trust;
+  store_env.dns_zone_keys = &dns_trusted;
+  store_env.dns_zone_key_id = dns_zone_key.public_key();
+  store_env.tracker_addrs = {addrs.tracker};
+  store_env.pii_patterns = {"imei=", "password="};
+
+  // --- per-network PVN stacks ---
+  const auto build = [this](AccessNet& an, Host& control, SdnSwitch& sw,
+                            const char* sw_name, const char* net_name) {
+    an.store = std::make_unique<PvnStore>(make_standard_store(store_env));
+    an.mbox = std::make_unique<MboxHost>(net.sim());
+    an.controller = std::make_unique<Controller>(net.sim());
+    an.controller->manage(sw);
+    an.ledger = std::make_unique<Ledger>();
+    ServerConfig scfg;
+    scfg.switch_name = sw_name;
+    scfg.switch_client_port = 0;
+    scfg.switch_wan_port = 1;
+    scfg.lease_duration = cfg_.lease_duration;
+    scfg.checkpoint_interval = cfg_.checkpoint_interval;
+    scfg.network_name = net_name;
+    an.server = std::make_unique<DeploymentServer>(
+        control, *an.store, *an.mbox, *an.controller, *an.ledger, scfg);
+  };
+  build(a, *control_a, *sw_a, kSwitchA, "access-net-a");
+  build(b, *control_b, *sw_b, kSwitchB, "access-net-b");
+
+  faults = std::make_unique<FaultInjector>(net);
+}
+
+void RoamingTestbed::re_attach() {
+  if (attached_to_b_) return;
+  attached_to_b_ = true;
+  client->set_uplink(1);
+  // Host route beats network A's /24: return traffic now rides network B.
+  wan->add_route(Prefix{addrs.client, 32}, 1);
+}
+
+Pvnc RoamingTestbed::roaming_pvnc(const std::string& owner) const {
+  Pvnc pvnc;
+  pvnc.name = owner;
+  pvnc.chain.push_back(PvncModule{"tls-validator", {{"mode", "block"}}});
+  pvnc.chain.push_back(PvncModule{"classifier", {}});
+  pvnc.chain.push_back(PvncModule{"tracker-blocker", {}});
+  return pvnc;
+}
+
+}  // namespace pvn

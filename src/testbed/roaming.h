@@ -1,0 +1,116 @@
+// Dual-access-network topology for live PVN migration (paper Fig. 1c:
+// "the PVN follows the user"):
+//
+//            p0┌──────────────┐p1
+//   client ────┤              ├──── wan Router ──┬── web server
+//      │       │ access sw A  │p2                └── dns resolver
+//      │       └──────────────┘└── control A (10.0.0.5)
+//      │p1     ┌──────────────┐
+//      └───────┤ access sw B  │p2── control B (10.0.1.5)
+//              └──────────────┘p1── wan Router
+//
+// The client is dual-homed: port 0 on network A, port 1 on network B.
+// `re_attach()` models the device roaming onto network B — its uplink moves
+// to port 1 and the wan's host route for the client flips to B — while the
+// old session on A keeps serving in-flight packets until the client's
+// migration drains and tears it down. The networks reach each other through
+// the wan, which is how the new deployment server pulls the old chain's
+// state (kStateRequest handoff).
+#pragma once
+
+#include <memory>
+
+#include "netsim/faults.h"
+#include "netsim/router.h"
+#include "proto/dns.h"
+#include "proto/tls.h"
+#include "pvn/client.h"
+#include "pvn/server.h"
+#include "workload/generators.h"
+
+namespace pvn {
+
+struct RoamingConfig {
+  LinkParams access;       // client <-> each switch
+  LinkParams backhaul;     // switch <-> wan / control
+  LinkParams server_link;  // wan <-> servers
+  std::uint64_t seed = 1;
+  SimDuration lease_duration = seconds(30);
+  SimDuration checkpoint_interval = milliseconds(200);
+
+  RoamingConfig() {
+    access.rate = Rate::mbps(50);
+    access.latency = milliseconds(8);
+    backhaul.rate = Rate::mbps(1000);
+    backhaul.latency = milliseconds(2);
+    server_link.rate = Rate::mbps(1000);
+    server_link.latency = milliseconds(10);
+  }
+};
+
+struct RoamingAddrs {
+  Ipv4Addr client{10, 0, 0, 2};     // kept across the move (mobility anchor)
+  Ipv4Addr control_a{10, 0, 0, 5};
+  Ipv4Addr control_b{10, 0, 1, 5};
+  Ipv4Addr web{93, 184, 216, 34};
+  Ipv4Addr dns{8, 8, 8, 8};
+  Ipv4Addr tracker{6, 6, 6, 6};
+};
+
+class RoamingTestbed {
+ public:
+  explicit RoamingTestbed(RoamingConfig cfg = {});
+
+  // One access network's PVN service stack.
+  struct AccessNet {
+    std::unique_ptr<PvnStore> store;
+    std::unique_ptr<MboxHost> mbox;
+    std::unique_ptr<Controller> controller;
+    std::unique_ptr<Ledger> ledger;
+    std::unique_ptr<DeploymentServer> server;
+  };
+
+  // --- topology ---
+  Network net;
+  RoamingAddrs addrs;
+  Host* client = nullptr;
+  Host* control_a = nullptr;
+  Host* control_b = nullptr;
+  Host* web = nullptr;
+  Host* dns_host = nullptr;
+  Host* tracker = nullptr;
+  SdnSwitch* sw_a = nullptr;
+  SdnSwitch* sw_b = nullptr;
+  Router* wan = nullptr;
+
+  AccessNet a, b;
+
+  // --- content / security environment (shared by both stores) ---
+  std::unique_ptr<CertificateAuthority> root_ca;
+  TrustStore trust;
+  KeyPair dns_zone_key{777};
+  KeyRegistry dns_trusted;
+  std::unique_ptr<HttpServer> web_http;
+  std::unique_ptr<DnsServer> dns_server;
+  std::unique_ptr<FaultInjector> faults;
+  StoreEnvironment store_env;
+
+  static constexpr const char* kSwitchA = "access-sw-a";
+  static constexpr const char* kSwitchB = "access-sw-b";
+
+  // Moves the device onto network B: outbound traffic leaves through the
+  // client's second interface and the wan's host route for the client flips
+  // to B. Packets already in flight through A still get delivered (the old
+  // chain serves them until the migration drain tears it down).
+  void re_attach();
+  bool attached_to_b() const { return attached_to_b_; }
+
+  // A small stateful chain suitable for migration experiments.
+  Pvnc roaming_pvnc(const std::string& owner = "alice-phone") const;
+
+ private:
+  RoamingConfig cfg_;
+  bool attached_to_b_ = false;
+};
+
+}  // namespace pvn

@@ -15,11 +15,17 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
                                        tunnel_key());
   access_sw = &net.add_node<SdnSwitch>(kSwitchName, 2);
   wan = &net.add_node<Router>("wan");
+  if (cfg.standby) {
+    standby_node = &net.add_node<Host>("standby", addrs.standby);
+  }
 
   // --- links ---
   access_link = &net.connect(*client, *access_sw, cfg.access);  // sw p0
   net.connect(*access_sw, *wan, cfg.backhaul);                  // sw p1
   net.connect(*access_sw, *control, cfg.backhaul);              // sw p2
+  if (cfg.standby) {
+    net.connect(*access_sw, *standby_node, cfg.backhaul);       // sw p3
+  }
   net.connect(*wan, *web, cfg.server_link);      // wan p1
   net.connect(*wan, *video, cfg.server_link);    // wan p2
   net.connect(*wan, *dns_host, cfg.server_link); // wan p3
@@ -60,6 +66,15 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
     to_wan.cookie = "infra";
     to_wan.actions.push_back(ActOutput{1});
     access_sw->table(0).add(to_wan);
+
+    if (cfg.standby) {
+      FlowRule to_standby;
+      to_standby.priority = 1;  // beats the 10.0.0.0/24 -> p0 rule
+      to_standby.match.dst = Prefix{addrs.standby, 32};
+      to_standby.cookie = "infra";
+      to_standby.actions.push_back(ActOutput{3});
+      access_sw->table(0).add(to_standby);
+    }
   }
   // Tunnel encapsulation hook for ActTunnel (Fig. 1c), and the matching
   // decapsulation of returning ESP traffic from the cloud gateway.
@@ -114,6 +129,11 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
   store = std::make_unique<PvnStore>(make_standard_store(store_env));
 
   mbox_host = std::make_unique<MboxHost>(net.sim());
+  if (cfg.standby) {
+    standby_mbox = std::make_unique<MboxHost>(net.sim());
+    standby_agent =
+        std::make_unique<StandbyAgent>(*standby_node, *standby_mbox);
+  }
   controller = std::make_unique<Controller>(net.sim());
   controller->manage(*access_sw);
   ledger = std::make_unique<Ledger>();
@@ -125,6 +145,11 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
   scfg.allowed_modules = cfg.allowed_modules;
   scfg.price_multiplier = cfg.price_multiplier;
   scfg.lease_duration = cfg.lease_duration;
+  if (cfg.standby) {
+    scfg.standby_host = standby_mbox.get();
+    scfg.standby_addr = addrs.standby;
+    scfg.checkpoint_interval = cfg.checkpoint_interval;
+  }
   server = std::make_unique<DeploymentServer>(*control, *store, *mbox_host,
                                               *controller, *ledger, scfg);
 

@@ -24,6 +24,7 @@
 #include "proto/tls.h"
 #include "pvn/client.h"
 #include "pvn/server.h"
+#include "pvn/standby.h"
 #include "tunnel/vpn.h"
 #include "workload/generators.h"
 
@@ -40,6 +41,11 @@ struct TestbedConfig {
   double price_multiplier = 1.0;
   // Deployment lease length handed to the server (0 = no leases).
   SimDuration lease_duration = 0;
+  // Survivability: adds a second mbox pool behind the switch (p3, host
+  // 10.0.0.6) with a StandbyAgent; the server mirrors every deployment
+  // there and promotes it when the primary MboxHost crashes.
+  bool standby = false;
+  SimDuration checkpoint_interval = milliseconds(200);
 
   TestbedConfig() {
     access.rate = Rate::mbps(50);
@@ -55,6 +61,7 @@ struct TestbedConfig {
 struct TestbedAddrs {
   Ipv4Addr client{10, 0, 0, 2};
   Ipv4Addr control{10, 0, 0, 5};
+  Ipv4Addr standby{10, 0, 0, 6};  // only wired when TestbedConfig::standby
   Ipv4Addr web{93, 184, 216, 34};
   Ipv4Addr video{93, 184, 216, 35};
   Ipv4Addr dns{8, 8, 8, 8};
@@ -81,10 +88,15 @@ class Testbed {
   SdnSwitch* access_sw = nullptr;
   Router* wan = nullptr;
   Link* access_link = nullptr;
+  Host* standby_node = nullptr;  // non-null when cfg.standby
 
   // --- access-network services ---
   std::unique_ptr<PvnStore> store;
   std::unique_ptr<MboxHost> mbox_host;
+  // Warm-standby pool (cfg.standby): destroyed after the server, which
+  // holds a raw pointer and a crash listener on it.
+  std::unique_ptr<MboxHost> standby_mbox;
+  std::unique_ptr<StandbyAgent> standby_agent;
   std::unique_ptr<Controller> controller;
   std::unique_ptr<Ledger> ledger;
   std::unique_ptr<DeploymentServer> server;

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "mbox/checkpoint.h"
+#include "mbox/inline_modules.h"
 #include "proto/dhcp.h"
 #include "proto/dns.h"
 #include "proto/tls.h"
@@ -157,6 +159,9 @@ TEST_P(DiscoveryProperty, RandomBytesNeverCrashDecoders) {
     (void)DeployNack::decode(junk);
     (void)LeaseRenew::decode(junk);
     (void)LeaseAck::decode(junk);
+    (void)StateRequest::decode(junk);
+    (void)StateTransfer::decode(junk);
+    (void)ChainCheckpoint::decode(junk);
     (void)DnsMessage::decode(junk);
     (void)DhcpMessage::decode(junk);
     (void)decode_chain(junk);
@@ -216,6 +221,30 @@ TEST_P(DiscoveryProperty, MutatedValidEncodingsNeverCrashDecoders) {
   lack.lease_duration = seconds(10);
   lack.degraded_modules = {"tracker-blocker"};
 
+  StateRequest sreq;
+  sreq.seq = 11;
+  sreq.device_id = dm.device_id;
+  sreq.chain_id = ack.chain_id;
+
+  // A StateTransfer carrying a real chain checkpoint with per-flow state.
+  Network cknet(GetParam());
+  Classifier ck_classifier({{"Content-Type: video", 0x20}});
+  Chain ck_chain(ack.chain_id, microseconds(45));
+  ck_chain.append(&ck_classifier);
+  for (int f = 0; f < 4; ++f) {
+    Packet pkt = cknet.make_packet(
+        Ipv4Addr(10, 0, 0, 2), Ipv4Addr(93, 184, 216, 34 + f), IpProto::kTcp,
+        to_bytes("HTTP/1.1 200 OK Content-Type: video"));
+    SimDuration delay = 0;
+    ck_chain.process(pkt, 0, delay);
+  }
+  StateTransfer xfer;
+  xfer.seq = 11;
+  xfer.device_id = dm.device_id;
+  xfer.chain_id = ack.chain_id;
+  xfer.ok = true;
+  xfer.checkpoint = capture_chain(ck_chain, 1, 0).encode();
+
   const std::vector<Bytes> corpus = {
       wrap(PvnMsgType::kDiscovery, dm.encode()),
       wrap(PvnMsgType::kOffer, offer.encode()),
@@ -224,6 +253,8 @@ TEST_P(DiscoveryProperty, MutatedValidEncodingsNeverCrashDecoders) {
       wrap(PvnMsgType::kDeployNack, nack.encode()),
       wrap(PvnMsgType::kLeaseRenew, renew.encode()),
       wrap(PvnMsgType::kLeaseAck, lack.encode()),
+      wrap(PvnMsgType::kStateRequest, sreq.encode()),
+      wrap(PvnMsgType::kStateTransfer, xfer.encode()),
   };
 
   const auto decode_as = [](PvnMsgType type, const Bytes& body) {
@@ -236,6 +267,14 @@ TEST_P(DiscoveryProperty, MutatedValidEncodingsNeverCrashDecoders) {
       case PvnMsgType::kTeardown: (void)Teardown::decode(body); break;
       case PvnMsgType::kLeaseRenew: (void)LeaseRenew::decode(body); break;
       case PvnMsgType::kLeaseAck: (void)LeaseAck::decode(body); break;
+      case PvnMsgType::kStateRequest: (void)StateRequest::decode(body); break;
+      case PvnMsgType::kStateTransfer: {
+        // The nested snapshot must also reject corruption cleanly.
+        if (const auto x = StateTransfer::decode(body)) {
+          (void)ChainCheckpoint::decode(x->checkpoint);
+        }
+        break;
+      }
       default: break;
     }
   };
@@ -303,6 +342,149 @@ TEST_P(DiscoveryProperty, LeaseMessagesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryProperty,
                          ::testing::Values(11, 12, 13));
+
+// --- Chain checkpoints (survivability) ------------------------------------------------
+
+// Pushes a deterministic mix of classifiable and tracker-bound traffic
+// through `chain`, building per-flow state in every stateful module.
+void feed_chain(Chain& chain, Network& net, Rng& rng, int flows) {
+  SimDuration delay = 0;
+  for (int f = 0; f < flows; ++f) {
+    Packet video = net.make_packet(
+        Ipv4Addr(10, 0, 0, 2),
+        Ipv4Addr(93, 184, 216, static_cast<std::uint8_t>(rng.next_below(250))),
+        IpProto::kTcp, to_bytes("HTTP/1.1 200 OK Content-Type: video #" +
+                                std::to_string(f)));
+    (void)chain.process(video, 0, delay);
+    Packet tracked = net.make_packet(
+        Ipv4Addr(10, 0, 0, 2), Ipv4Addr(6, 6, 6, 6), IpProto::kTcp,
+        to_bytes("GET /pixel?id=" + std::to_string(f)));
+    (void)chain.process(tracked, 0, delay);
+  }
+}
+
+class CheckpointProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckpointProperty, RoundTripPreservesModuleState) {
+  Rng rng(GetParam());
+  Network net(GetParam());
+  Classifier classifier({{"Content-Type: video", 0x20}});
+  TrackerBlocker blocker({Ipv4Addr(6, 6, 6, 6)});
+  Chain chain("chain:ckpt:0", microseconds(45));
+  chain.append(&classifier);
+  chain.append(&blocker);
+  feed_chain(chain, net, rng, 8);
+  ASSERT_GT(classifier.flows_classified(), 0u);
+  ASSERT_GT(blocker.blocked(), 0u);
+
+  const ChainCheckpoint ckpt = capture_chain(chain, 3, seconds(1));
+  const auto back = ChainCheckpoint::decode(ckpt.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->chain_id, ckpt.chain_id);
+  EXPECT_EQ(back->seq, ckpt.seq);
+  EXPECT_EQ(back->taken_at, ckpt.taken_at);
+  EXPECT_EQ(back->incremental, ckpt.incremental);
+  ASSERT_EQ(back->modules.size(), ckpt.modules.size());
+  for (std::size_t m = 0; m < ckpt.modules.size(); ++m) {
+    EXPECT_EQ(back->modules[m].module, ckpt.modules[m].module);
+    EXPECT_EQ(back->modules[m].packets_seen, ckpt.modules[m].packets_seen);
+    EXPECT_EQ(back->modules[m].state, ckpt.modules[m].state);
+  }
+
+  // Restoring into a fresh chain reproduces the source state byte for byte.
+  Classifier classifier2({{"Content-Type: video", 0x20}});
+  TrackerBlocker blocker2({Ipv4Addr(6, 6, 6, 6)});
+  Chain chain2("chain:ckpt:restored", microseconds(45));
+  chain2.append(&classifier2);
+  chain2.append(&blocker2);
+  EXPECT_EQ(restore_chain(chain2, *back), 2u);
+  EXPECT_EQ(classifier2.serialize_state(), classifier.serialize_state());
+  EXPECT_EQ(blocker2.serialize_state(), blocker.serialize_state());
+  EXPECT_EQ(classifier2.flows_classified(), classifier.flows_classified());
+  EXPECT_EQ(blocker2.packets_seen, blocker.packets_seen);
+  EXPECT_EQ(blocker2.packets_dropped, blocker.packets_dropped);
+}
+
+TEST_P(CheckpointProperty, EveryTruncationIsRejected) {
+  Rng rng(GetParam());
+  Network net(GetParam());
+  Classifier classifier({{"Content-Type: video", 0x20}});
+  Chain chain("chain:ckpt:1", microseconds(45));
+  chain.append(&classifier);
+  feed_chain(chain, net, rng, 4);
+  const Bytes full = capture_chain(chain, 1, 0).encode();
+  ASSERT_TRUE(ChainCheckpoint::decode(full).has_value());
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(),
+                    full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(ChainCheckpoint::decode(truncated).has_value())
+        << "truncation at " << cut << " of " << full.size();
+  }
+}
+
+TEST_P(CheckpointProperty, BitFlipsAreRejectedWholesale) {
+  Rng rng(GetParam() + 50);
+  Network net(GetParam());
+  Classifier classifier({{"Content-Type: video", 0x20}});
+  TrackerBlocker blocker({Ipv4Addr(6, 6, 6, 6)});
+  Chain chain("chain:ckpt:2", microseconds(45));
+  chain.append(&classifier);
+  chain.append(&blocker);
+  feed_chain(chain, net, rng, 6);
+  const Bytes full = capture_chain(chain, 1, 0).encode();
+  for (int i = 0; i < 300; ++i) {
+    Bytes corrupted = full;
+    const std::size_t at = rng.next_below(corrupted.size());
+    corrupted[at] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    EXPECT_FALSE(ChainCheckpoint::decode(corrupted).has_value())
+        << "bit flip at byte " << at;
+  }
+}
+
+TEST_P(CheckpointProperty, CorruptedSnapshotNeverPartiallyRestores) {
+  Rng rng(GetParam() + 99);
+  Network net(GetParam());
+  Classifier donor({{"Content-Type: video", 0x20}});
+  Chain donor_chain("chain:ckpt:3", microseconds(45));
+  donor_chain.append(&donor);
+  feed_chain(donor_chain, net, rng, 8);
+  ChainCheckpoint ckpt = capture_chain(donor_chain, 1, 0);
+  ASSERT_EQ(ckpt.modules.size(), 1u);
+
+  // The victim has its own, different state. A snapshot whose module payload
+  // is mangled (modeling a serializer bug — the digest only protects the
+  // transport) must be rejected by restore_state with zero mutation.
+  Classifier victim({{"Content-Type: video", 0x20}});
+  Chain victim_chain("chain:ckpt:victim", microseconds(45));
+  victim_chain.append(&victim);
+  feed_chain(victim_chain, net, rng, 3);
+  const Bytes before = victim.serialize_state();
+  const std::uint64_t flows_before = victim.flows_classified();
+
+  ChainCheckpoint truncated_state = ckpt;
+  truncated_state.modules[0].state.resize(
+      truncated_state.modules[0].state.size() / 2);
+  EXPECT_EQ(restore_chain(victim_chain, truncated_state), 0u);
+  EXPECT_EQ(victim.serialize_state(), before);
+  EXPECT_EQ(victim.flows_classified(), flows_before);
+
+  ChainCheckpoint bad_version = ckpt;
+  bad_version.modules[0].state_version = 999;
+  EXPECT_EQ(restore_chain(victim_chain, bad_version), 0u);
+  EXPECT_EQ(victim.serialize_state(), before);
+
+  ChainCheckpoint extended = ckpt;
+  extended.modules[0].state.push_back(0xAB);
+  EXPECT_EQ(restore_chain(victim_chain, extended), 0u);
+  EXPECT_EQ(victim.serialize_state(), before);
+
+  // And the intact checkpoint still applies cleanly afterwards.
+  EXPECT_EQ(restore_chain(victim_chain, ckpt), 1u);
+  EXPECT_EQ(victim.serialize_state(), donor.serialize_state());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointProperty,
+                         ::testing::Values(31, 32, 33));
 
 // --- ESP ------------------------------------------------------------------------------
 

@@ -4,9 +4,12 @@
 // the device VPN tunnel when the PVN dies mid-session (§3.3).
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "fixtures.h"
 #include "netsim/faults.h"
 #include "proto/http.h"
+#include "proto/l4.h"
 #include "testbed/testbed.h"
 
 namespace pvn {
@@ -103,6 +106,66 @@ TEST(FaultInjector, RandomFlapsAreDeterministicPerSeed) {
     EXPECT_EQ(timelines[0][i].at, timelines[1][i].at);
     EXPECT_EQ(timelines[0][i].kind, timelines[1][i].kind);
   }
+}
+
+TEST(FaultInjector, CrashAndRestartTakesTheNodeDownThenBack) {
+  DumbbellTopo topo;
+  int received = 0;
+  topo.server->bind_udp(7000, [&](Ipv4Addr, Port, Port, const Bytes&) {
+    ++received;
+  });
+  FaultInjector faults(topo.net);
+  // Down for [1s, 3s): the transient flavour of crash_node/restore_node.
+  topo.net.sim().schedule_at(seconds(1), [&] {
+    faults.crash_and_restart(*topo.server, seconds(2));
+  });
+  for (int i = 0; i < 6; ++i) {
+    topo.net.sim().schedule_at(seconds(i) + milliseconds(500), [&] {
+      topo.client->send_udp(topo.server->addr(), 7000, 7000, to_bytes("ping"));
+    });
+  }
+  topo.net.sim().run();
+  EXPECT_EQ(received, 4);  // sends at 1.5s and 2.5s hit a dead node
+  ASSERT_EQ(faults.events().size(), 2u);
+  EXPECT_EQ(faults.events()[0].kind, "node-crash");
+  EXPECT_EQ(faults.events()[0].at, seconds(1));
+  EXPECT_EQ(faults.events()[1].kind, "node-restart");
+  EXPECT_EQ(faults.events()[1].at, seconds(3));
+}
+
+TEST(FaultInjector, CrashAndRestartCallbackFormDrivesMboxRecovery) {
+  // The callback form injects the same fault into components that are not
+  // netsim Nodes — here the middlebox compute pool — and records both
+  // transitions, so a full failover + recovery runs from one injection.
+  TestbedConfig cfg;
+  cfg.lease_duration = seconds(2);
+  Testbed tb(cfg);
+  ClientConfig ccfg;
+  ccfg.constraints.required_modules = {"tls-validator"};
+  ccfg.session.fallback_retry = seconds(1);
+  PvnClient agent(*tb.client, tb.standard_pvnc(), ccfg);
+  agent.set_fallback(tb.device_tunnel.get());
+  agent.start_session(tb.addrs.control);
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+
+  tb.net.sim().schedule_at(seconds(2), [&] {
+    tb.faults->crash_and_restart("mbox-pool", seconds(5),
+                                 [&] { tb.mbox_host->crash(); },
+                                 [&] { tb.mbox_host->restart(); });
+  });
+  tb.net.sim().run_until(seconds(5));
+  EXPECT_EQ(agent.state(), SessionState::kFallback);
+  EXPECT_EQ(agent.failovers(), 1u);
+
+  tb.net.sim().run_until(seconds(20));
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_EQ(agent.recoveries(), 1u);
+  ASSERT_EQ(tb.faults->events().size(), 2u);
+  EXPECT_EQ(tb.faults->events()[0].kind, "node-crash");
+  EXPECT_EQ(tb.faults->events()[0].target, "mbox-pool");
+  EXPECT_EQ(tb.faults->events()[1].kind, "node-restart");
+  EXPECT_EQ(tb.faults->events()[1].at, seconds(7));
 }
 
 TEST(FaultInjector, PartitionTakesAllListedLinksDown) {
@@ -246,6 +309,42 @@ TEST(Resilience, CrashedClientLeaseExpiresAndMemoryIsReclaimed) {
   EXPECT_EQ(tb.server->leases_expired(), 1u);
   EXPECT_EQ(tb.server->deployments_active(), 0u);
   EXPECT_EQ(tb.mbox_host->memory_in_use(), memory_before);
+}
+
+// Regression: renewal periods must be jittered per session. Without jitter
+// a fleet of clients deployed in the same instant renews in lockstep
+// forever — a thundering herd at the deployment server every period.
+TEST(Resilience, RenewalsAreJitteredNotLockstep) {
+  TestbedConfig cfg;
+  cfg.lease_duration = seconds(3);  // nominal renewal period: 1 s
+  Testbed tb(cfg);
+  std::vector<SimTime> renew_times;
+  tb.access_link->add_tap([&](const Packet& pkt, const Node&, const Node&) {
+    if (pkt.ip.dst != tb.addrs.control) return;
+    const auto dgram = parse_udp(pkt.l4);
+    if (!dgram || dgram->hdr.dst_port != kPvnPort) return;
+    const auto msg = unwrap(dgram->payload);
+    if (msg && msg->first == PvnMsgType::kLeaseRenew) {
+      renew_times.push_back(tb.net.sim().now());
+    }
+  });
+  PvnClient agent(*tb.client, tb.standard_pvnc());
+  agent.start_session(tb.addrs.control);
+  tb.net.sim().run_until(seconds(15));
+  ASSERT_GE(renew_times.size(), 8u);
+
+  const SimDuration nominal = cfg.lease_duration / 3;
+  std::set<SimDuration> gaps;
+  for (std::size_t i = 1; i < renew_times.size(); ++i) {
+    const SimDuration gap = renew_times[i] - renew_times[i - 1];
+    gaps.insert(gap);
+    // Each period is drawn from [1-j, 1+j] around the nominal (j = 0.1).
+    EXPECT_GE(gap, nominal * 85 / 100);
+    EXPECT_LE(gap, nominal * 115 / 100);
+  }
+  // The periods differ from each other: two sessions started in the same
+  // tick drift apart instead of renewing in the same instant forever.
+  EXPECT_GT(gaps.size(), 1u);
 }
 
 TEST(Resilience, RenewingSessionKeepsTheLeaseAlive) {

@@ -1,0 +1,458 @@
+// Survivability layer (DESIGN.md "Survivability"): checkpoint -> restore ->
+// replay equivalence, incremental checkpoints, the standby agent's rejection
+// of corrupt/replayed transfers, warm-standby promotion on a primary mbox
+// crash, and live migration between access networks with state handoff.
+#include <gtest/gtest.h>
+
+#include "mbox/checkpoint.h"
+#include "mbox/inline_modules.h"
+#include "testbed/roaming.h"
+#include "testbed/testbed.h"
+
+namespace pvn {
+namespace {
+
+// Deterministic traffic mix: classifiable HTTP-ish flows plus tracker hits.
+std::vector<Packet> make_traffic(Network& net, Rng& rng, int n) {
+  std::vector<Packet> out;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) {
+      out.push_back(net.make_packet(
+          Ipv4Addr(10, 0, 0, 2), Ipv4Addr(6, 6, 6, 6), IpProto::kTcp,
+          to_bytes("GET /pixel?id=" + std::to_string(i))));
+    } else {
+      const bool video = rng.bernoulli(0.5);
+      out.push_back(net.make_packet(
+          Ipv4Addr(10, 0, 0, 2),
+          Ipv4Addr(93, 184, 216,
+                   static_cast<std::uint8_t>(rng.next_below(250))),
+          IpProto::kTcp,
+          to_bytes(std::string("HTTP/1.1 200 OK Content-Type: ") +
+                   (video ? "video" : "text") + " #" + std::to_string(i))));
+    }
+  }
+  return out;
+}
+
+struct StatefulChain {
+  Classifier classifier{{{"Content-Type: video", 0x20},
+                         {"Content-Type: text", 0x10}}};
+  TrackerBlocker blocker{{Ipv4Addr(6, 6, 6, 6)}};
+  Chain chain;
+
+  explicit StatefulChain(const std::string& id) : chain(id, microseconds(45)) {
+    chain.append(&classifier);
+    chain.append(&blocker);
+  }
+
+  void feed(const std::vector<Packet>& traffic, std::size_t from,
+            std::size_t to) {
+    SimDuration delay = 0;
+    for (std::size_t i = from; i < to; ++i) {
+      (void)chain.process(traffic[i], 0, delay);
+    }
+  }
+};
+
+Classifier* find_classifier(Chain* chain) {
+  if (chain == nullptr) return nullptr;
+  for (Middlebox* m : chain->modules()) {
+    if (m->name() == "classifier") return dynamic_cast<Classifier*>(m);
+  }
+  return nullptr;
+}
+
+// --- Property: checkpoint/restore/replay == uninterrupted execution ---------
+
+class SurvivabilityProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SurvivabilityProperty, CheckpointRestoreReplayMatchesUninterrupted) {
+  Rng rng(GetParam());
+  Network net(GetParam());
+  const std::vector<Packet> traffic = make_traffic(net, rng, 40);
+  const std::size_t cut = 15 + rng.next_below(15);
+
+  StatefulChain uninterrupted("chain:u");
+  uninterrupted.feed(traffic, 0, traffic.size());
+
+  StatefulChain primary("chain:p");
+  primary.feed(traffic, 0, cut);
+  const ChainCheckpoint ckpt =
+      capture_chain(primary.chain, 1, static_cast<SimTime>(cut));
+
+  // The checkpoint travels over the (simulated) wire; decode what arrives.
+  const auto arrived = ChainCheckpoint::decode(ckpt.encode());
+  ASSERT_TRUE(arrived.has_value());
+  StatefulChain standby("chain:s");
+  ASSERT_EQ(restore_chain(standby.chain, *arrived), 2u);
+  standby.feed(traffic, cut, traffic.size());
+
+  // Replaying the remainder on the restored chain lands in exactly the
+  // state of the chain that never crashed.
+  EXPECT_EQ(standby.classifier.serialize_state(),
+            uninterrupted.classifier.serialize_state());
+  EXPECT_EQ(standby.blocker.serialize_state(),
+            uninterrupted.blocker.serialize_state());
+  EXPECT_EQ(standby.classifier.flows_classified(),
+            uninterrupted.classifier.flows_classified());
+  EXPECT_EQ(standby.blocker.blocked(), uninterrupted.blocker.blocked());
+  EXPECT_EQ(standby.classifier.packets_seen,
+            uninterrupted.classifier.packets_seen);
+  EXPECT_EQ(standby.blocker.packets_dropped,
+            uninterrupted.blocker.packets_dropped);
+}
+
+TEST_P(SurvivabilityProperty, IncrementalCheckpointsOmitUnchangedModules) {
+  Rng rng(GetParam());
+  Network net(GetParam());
+  StatefulChain primary("chain:inc");
+  StatefulChain standby("chain:inc");
+
+  std::map<std::string, Digest> digests;
+  const std::vector<Packet> traffic = make_traffic(net, rng, 20);
+  primary.feed(traffic, 0, traffic.size());
+  // First capture against an empty digest map includes every module.
+  const ChainCheckpoint full = capture_chain(primary.chain, 1, 0, &digests);
+  ASSERT_EQ(full.modules.size(), 2u);
+  ASSERT_EQ(restore_chain(standby.chain, full), 2u);
+
+  // Classifiable-only traffic afterwards: the tracker blocker's state is
+  // untouched, so the next incremental omits it.
+  SimDuration delay = 0;
+  Packet video = net.make_packet(
+      Ipv4Addr(10, 0, 0, 2), Ipv4Addr(93, 184, 216, 252), IpProto::kTcp,
+      to_bytes("HTTP/1.1 200 OK Content-Type: video fresh"));
+  (void)primary.chain.process(video, 0, delay);
+  const ChainCheckpoint incr = capture_chain(primary.chain, 2, 0, &digests);
+  EXPECT_TRUE(incr.incremental);
+  ASSERT_EQ(incr.modules.size(), 1u);
+  EXPECT_EQ(incr.modules[0].module, "classifier");
+
+  // Applying the incremental on top brings the classifier up to date and
+  // leaves the blocker's previously restored state alone.
+  ASSERT_EQ(restore_chain(standby.chain, incr), 1u);
+  EXPECT_EQ(standby.classifier.serialize_state(),
+            primary.classifier.serialize_state());
+  EXPECT_EQ(standby.blocker.blocked(), primary.blocker.blocked());
+
+  // Nothing changed since: the next incremental is empty.
+  const ChainCheckpoint quiet = capture_chain(primary.chain, 3, 0, &digests);
+  EXPECT_TRUE(quiet.modules.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SurvivabilityProperty,
+                         ::testing::Values(41, 42, 43, 44));
+
+// --- StandbyAgent: transfer validation --------------------------------------
+
+TEST(Survivability, StandbyAgentAppliesValidAndRejectsCorruptTransfers) {
+  TestbedConfig cfg;
+  cfg.standby = true;
+  Testbed tb(cfg);
+
+  Rng rng(5);
+  StatefulChain donor("c1");
+  donor.feed(make_traffic(tb.net, rng, 12), 0, 12);
+
+  StatefulChain replica_modules("c1");
+  Chain& replica = tb.standby_mbox->create_chain("c1");
+  replica.append(&replica_modules.classifier);
+  replica.append(&replica_modules.blocker);
+
+  const auto send_xfer = [&](std::uint32_t seq, Bytes ckpt,
+                             const std::string& chain_id = "c1",
+                             bool ok = true) {
+    StateTransfer x;
+    x.seq = seq;
+    x.device_id = "alice-phone";
+    x.chain_id = chain_id;
+    x.ok = ok;
+    x.checkpoint = std::move(ckpt);
+    tb.control->send_udp(tb.addrs.standby, kPvnPort, kPvnStandbyPort,
+                         wrap(PvnMsgType::kStateTransfer, x.encode()));
+    tb.net.sim().run_until(tb.net.sim().now() + milliseconds(50));
+  };
+
+  // 1. A valid transfer applies and reproduces the donor's state.
+  send_xfer(1, capture_chain(donor.chain, 1, 0).encode());
+  EXPECT_EQ(tb.standby_agent->checkpoints_applied(), 1u);
+  EXPECT_EQ(tb.standby_agent->checkpoints_rejected(), 0u);
+  EXPECT_EQ(replica_modules.classifier.serialize_state(),
+            donor.classifier.serialize_state());
+
+  // 2. A duplicated/reordered datagram (same checkpoint seq) is rejected:
+  // the standby never steps backwards.
+  send_xfer(2, capture_chain(donor.chain, 1, 0).encode());
+  EXPECT_EQ(tb.standby_agent->checkpoints_applied(), 1u);
+  EXPECT_EQ(tb.standby_agent->checkpoints_rejected(), 1u);
+
+  // 3. A bit-flipped checkpoint fails the digest and is dropped wholesale.
+  Bytes flipped = capture_chain(donor.chain, 2, 0).encode();
+  flipped[flipped.size() / 2] ^= 0x40;
+  send_xfer(3, std::move(flipped));
+  EXPECT_EQ(tb.standby_agent->checkpoints_rejected(), 2u);
+
+  // 4. Truncation in transit likewise.
+  Bytes truncated = capture_chain(donor.chain, 3, 0).encode();
+  truncated.resize(truncated.size() - 3);
+  send_xfer(4, std::move(truncated));
+  EXPECT_EQ(tb.standby_agent->checkpoints_rejected(), 3u);
+
+  // 5. A checkpoint for a different chain than the transfer claims.
+  send_xfer(5, capture_chain(donor.chain, 4, 0).encode(), "other-chain");
+  EXPECT_EQ(tb.standby_agent->checkpoints_rejected(), 4u);
+
+  // 6. ok=false transfers (the source had nothing) are ignored silently.
+  send_xfer(6, capture_chain(donor.chain, 5, 0).encode(), "c1", false);
+  EXPECT_EQ(tb.standby_agent->checkpoints_applied(), 1u);
+  EXPECT_EQ(tb.standby_agent->checkpoints_rejected(), 4u);
+
+  // Through all of it the replica kept the one valid snapshot.
+  EXPECT_EQ(replica_modules.classifier.serialize_state(),
+            donor.classifier.serialize_state());
+  EXPECT_GT(tb.standby_agent->bytes_received(), 0u);
+}
+
+// --- Warm standby: promotion on primary crash --------------------------------
+
+Pvnc stateful_pvnc() {
+  Pvnc pvnc;
+  pvnc.name = "alice-phone";
+  pvnc.chain.push_back(PvncModule{"tls-validator", {{"mode", "block"}}});
+  pvnc.chain.push_back(PvncModule{"classifier", {}});
+  pvnc.chain.push_back(PvncModule{"tracker-blocker", {}});
+  return pvnc;
+}
+
+TEST(Survivability, PrimaryCrashPromotesStandbyWithoutLosingTheSession) {
+  TestbedConfig cfg;
+  cfg.standby = true;
+  cfg.lease_duration = seconds(2);
+  cfg.checkpoint_interval = milliseconds(100);
+  Testbed tb(cfg);
+
+  ClientConfig ccfg;
+  // tls-validator is required: without the standby this crash would force
+  // a failover (resilience_test.cc covers that path).
+  ccfg.constraints.required_modules = {"tls-validator"};
+  PvnClient agent(*tb.client, stateful_pvnc(), ccfg);
+  agent.set_fallback(tb.device_tunnel.get());
+  agent.start_session(tb.addrs.control);
+
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_EQ(tb.server->standbys_ready(), 1u);
+
+  // Build per-flow classifier state on the primary chain.
+  for (int i = 0; i < 6; ++i) {
+    tb.client->send_udp(tb.addrs.web, static_cast<Port>(5000 + i), 80,
+                        to_bytes("HTTP/1.1 200 OK Content-Type: video #" +
+                                 std::to_string(i)));
+  }
+  tb.net.sim().run_until(seconds(3));
+  Classifier* primary_cls = find_classifier(tb.mbox_host->chain(agent.chain_id()));
+  ASSERT_NE(primary_cls, nullptr);
+  const std::uint64_t flows_before = primary_cls->flows_classified();
+  EXPECT_GT(flows_before, 0u);
+  // Checkpoints streamed the state to the standby before the crash.
+  EXPECT_GT(tb.server->checkpoints_streamed(), 0u);
+  EXPECT_GT(tb.standby_agent->checkpoints_applied(), 0u);
+
+  tb.net.sim().schedule_at(seconds(3), [&] { tb.mbox_host->crash(); });
+  tb.net.sim().run_until(seconds(4));
+
+  // The standby took over: no failover, no degradation, session untouched.
+  EXPECT_EQ(tb.server->standby_promotions(), 1u);
+  EXPECT_EQ(tb.controller->promotions(), 1u);
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_EQ(agent.failovers(), 0u);
+  EXPECT_FALSE(tb.device_tunnel->active());
+  EXPECT_EQ(tb.server->deployments_active(), 1u);
+  EXPECT_EQ(tb.server->degraded_deployments(), 0u);
+  EXPECT_EQ(tb.server->chains_lost(), 0u);
+
+  // The promoted chain carries the streamed per-flow state...
+  Chain* promoted = tb.standby_mbox->chain(agent.chain_id());
+  ASSERT_NE(promoted, nullptr);
+  Classifier* standby_cls = find_classifier(promoted);
+  ASSERT_NE(standby_cls, nullptr);
+  EXPECT_EQ(standby_cls->flows_classified(), flows_before);
+
+  // ...and processes new traffic diverted by the re-pointed flow rules.
+  const std::uint64_t processed_before = promoted->packets();
+  tb.client->send_udp(tb.addrs.web, 6000, 80,
+                      to_bytes("HTTP/1.1 200 OK Content-Type: video new"));
+  tb.net.sim().run_until(seconds(6));
+  EXPECT_GT(promoted->packets(), processed_before);
+
+  // Renewals keep succeeding against the promoted deployment.
+  const std::uint64_t acked_at_crash = agent.renews_acked();
+  tb.net.sim().run_until(seconds(10));
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_GT(agent.renews_acked(), acked_at_crash);
+}
+
+TEST(Survivability, StandbyCrashLeavesTunnelFailoverAsLastResort) {
+  TestbedConfig cfg;
+  cfg.standby = true;
+  cfg.lease_duration = seconds(2);
+  cfg.checkpoint_interval = milliseconds(100);
+  Testbed tb(cfg);
+
+  ClientConfig ccfg;
+  ccfg.constraints.required_modules = {"tls-validator"};
+  ccfg.session.fallback_retry = seconds(1);
+  PvnClient agent(*tb.client, stateful_pvnc(), ccfg);
+  agent.set_fallback(tb.device_tunnel.get());
+  agent.start_session(tb.addrs.control);
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+  ASSERT_EQ(tb.server->standbys_ready(), 1u);
+
+  // The standby dies first; the server notices and drops its spare.
+  tb.net.sim().schedule_at(seconds(2), [&] { tb.standby_mbox->crash(); });
+  tb.net.sim().run_until(seconds(3));
+  EXPECT_EQ(tb.server->standbys_lost(), 1u);
+
+  // Now the primary dies too: with no standby left, the old tunnel
+  // failover path is the last resort.
+  tb.net.sim().schedule_at(seconds(3), [&] { tb.mbox_host->crash(); });
+  tb.net.sim().run_until(seconds(3) + 2 * cfg.lease_duration);
+  EXPECT_EQ(tb.server->standby_promotions(), 0u);
+  EXPECT_EQ(agent.state(), SessionState::kFallback);
+  EXPECT_TRUE(tb.device_tunnel->active());
+  EXPECT_EQ(agent.failovers(), 1u);
+}
+
+// --- Live migration across access networks -----------------------------------
+
+TEST(Survivability, MigrationHandsOffStateAndTearsDownTheOldSession) {
+  RoamingTestbed tb;
+
+  PvnClient agent(*tb.client, tb.roaming_pvnc());
+  agent.start_session(tb.addrs.control_a);
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+  ASSERT_EQ(tb.a.server->deployments_active(), 1u);
+  const std::string old_chain_id = agent.chain_id();
+
+  // Build per-flow state through network A's chain.
+  for (int i = 0; i < 5; ++i) {
+    tb.client->send_udp(tb.addrs.web, static_cast<Port>(5000 + i), 80,
+                        to_bytes("HTTP/1.1 200 OK Content-Type: video #" +
+                                 std::to_string(i)));
+  }
+  tb.net.sim().run_until(seconds(2));
+  Classifier* old_cls = find_classifier(tb.a.mbox->chain(old_chain_id));
+  ASSERT_NE(old_cls, nullptr);
+  const std::uint64_t flows_before = old_cls->flows_classified();
+  ASSERT_GT(flows_before, 0u);
+
+  // The device roams onto network B and migrates its PVN there.
+  tb.re_attach();
+  DeployOutcome outcome;
+  bool done = false;
+  agent.migrate(tb.addrs.control_b, milliseconds(300),
+                [&](const DeployOutcome& o) {
+                  outcome = o;
+                  done = true;
+                });
+  tb.net.sim().run_until(seconds(8));
+
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.ok) << outcome.failure;
+  EXPECT_EQ(agent.migrations(), 1u);
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+
+  // B pulled the old chain's state from A over the wan...
+  EXPECT_EQ(tb.b.server->handoffs_completed(), 1u);
+  EXPECT_EQ(tb.a.server->state_requests_served(), 1u);
+  Classifier* new_cls = find_classifier(tb.b.mbox->chain(agent.chain_id()));
+  ASSERT_NE(new_cls, nullptr);
+  EXPECT_EQ(new_cls->flows_classified(), flows_before);
+
+  // ...and after the drain window the old session is gone.
+  EXPECT_EQ(tb.a.server->deployments_active(), 0u);
+  EXPECT_EQ(tb.a.mbox->chain(old_chain_id), nullptr);
+  EXPECT_EQ(tb.b.server->deployments_active(), 1u);
+
+  // The migrated session stays healthy: renewals now flow to B.
+  const std::uint64_t acked = agent.renews_acked();
+  tb.net.sim().run_until(seconds(25));
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_GT(agent.renews_acked(), acked);
+  EXPECT_EQ(tb.b.server->deployments_active(), 1u);
+}
+
+TEST(Survivability, FailedMigrationLeavesTheOldSessionUntouched) {
+  RoamingTestbed tb;
+  PvnClient agent(*tb.client, tb.roaming_pvnc());
+  agent.start_session(tb.addrs.control_a);
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+  const std::string old_chain_id = agent.chain_id();
+
+  // Network B accepts discovery but drops deploys: the migration times out.
+  tb.b.server->drop_deploy_requests(true);
+  tb.re_attach();
+  DeployOutcome outcome;
+  bool done = false;
+  agent.migrate(tb.addrs.control_b, milliseconds(300),
+                [&](const DeployOutcome& o) {
+                  outcome = o;
+                  done = true;
+                });
+  tb.net.sim().run_until(seconds(10));
+
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(agent.migrations(), 0u);
+  EXPECT_FALSE(agent.migrating());
+
+  // Still on A, same chain, no fallback; renewals keep being answered.
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_EQ(agent.chain_id(), old_chain_id);
+  EXPECT_EQ(agent.failovers(), 0u);
+  EXPECT_EQ(tb.a.server->deployments_active(), 1u);
+  EXPECT_EQ(tb.b.server->deployments_active(), 0u);
+  const std::uint64_t acked = agent.renews_acked();
+  tb.net.sim().run_until(seconds(25));
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_GT(agent.renews_acked(), acked);
+}
+
+// A migration where the old server cannot serve state (it already crashed)
+// still completes the deployment — without restored state, but without
+// wedging the client on network B.
+TEST(Survivability, MigrationSurvivesAnUnreachableOldServer) {
+  RoamingTestbed tb;
+  PvnClient agent(*tb.client, tb.roaming_pvnc());
+  agent.start_session(tb.addrs.control_a);
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+
+  // Kill the A-side control host outright: state requests go unanswered and
+  // B's handoff must time out rather than block the deployment forever.
+  tb.faults->crash_node(*tb.control_a);
+  tb.re_attach();
+  DeployOutcome outcome;
+  bool done = false;
+  agent.migrate(tb.addrs.control_b, milliseconds(300),
+                [&](const DeployOutcome& o) {
+                  outcome = o;
+                  done = true;
+                });
+  tb.net.sim().run_until(seconds(10));
+
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.ok) << outcome.failure;
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_EQ(agent.migrations(), 1u);
+  EXPECT_EQ(tb.b.server->deployments_active(), 1u);
+  EXPECT_EQ(tb.b.server->handoffs_completed(), 0u);
+  EXPECT_EQ(tb.b.server->handoff_timeouts(), 1u);
+}
+
+}  // namespace
+}  // namespace pvn
