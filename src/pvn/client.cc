@@ -112,9 +112,15 @@ void PvnClient::start_discovery_round() {
   dm.standards = cfg_.standards;
   dm.modules = pvnc_.module_names();
   dm.est_memory_bytes = pvnc_.est_memory_bytes();
-  host_->send_udp(server_, local_port_, kPvnPort,
-                  wrap(PvnMsgType::kDiscovery, dm.encode()));
+  const Bytes dm_bytes = wrap(PvnMsgType::kDiscovery, dm.encode());
+  host_->send_udp(server_, local_port_, kPvnPort, dm_bytes);
   ++outcome_.messages_sent;
+  // Competing networks join the same auction round.
+  for (const Ipv4Addr& extra : cfg_.extra_servers) {
+    if (extra == server_) continue;
+    host_->send_udp(extra, local_port_, kPvnPort, dm_bytes);
+    ++outcome_.messages_sent;
+  }
 
   // Round 1 waits exactly offer_wait (keeps the happy-path deployment
   // latency deterministic); later rounds back off with jitter.
@@ -147,7 +153,8 @@ void PvnClient::on_packet(const Bytes& payload) {
   switch (msg->first) {
     case PvnMsgType::kOffer: {
       const auto offer = Offer::decode(msg->second);
-      if (offer && offer->seq == seq_ && !awaiting_ack_) {
+      if (offer && offer->seq == seq_ && !awaiting_ack_ &&
+          accept_offer(*offer)) {
         offers_.push_back(*offer);
         ++outcome_.offers_received;
         m_offers_received_->inc();
@@ -169,6 +176,8 @@ void PvnClient::on_packet(const Bytes& payload) {
       if (nack && nack->seq == seq_ && awaiting_ack_) {
         outcome_.ok = false;
         outcome_.failure = "nack: " + nack->reason;
+        outcome_.nack_code = nack->code;
+        outcome_.retry_after = nack->retry_after;
         finish(outcome_);
       }
       break;
@@ -178,9 +187,83 @@ void PvnClient::on_packet(const Bytes& payload) {
   }
 }
 
+// Structural decode already rejected malformed offers; this drops the
+// well-formed-but-adversarial ones and charges the sender's reputation.
+bool PvnClient::accept_offer(const Offer& offer) {
+  if (!cfg_.vet_offers) return true;
+  const OfferDefect defect =
+      vet_offer(offer, pvnc_.est_memory_bytes(), cfg_.offer_bounds,
+                host_->sim().now());
+  if (defect == OfferDefect::kNone) return true;
+  ++offers_rejected_;
+  ++outcome_.offers_vetted_out;
+  telemetry::MetricsRegistry::global()
+      .counter("pvn.client.offers_rejected", to_string(defect))
+      .inc();
+  telemetry::SpanRecorder::global().instant(
+      std::string("offer_rejected_") + to_string(defect), "pvn", pvnc_.name);
+  if (cfg_.scoreboard != nullptr) {
+    cfg_.scoreboard->report(offer.deployment_server.to_string(),
+                            Misbehavior::kBogusOffer, host_->sim().now());
+  }
+  return false;
+}
+
+void PvnClient::filter_distrusted_offers() {
+  if (cfg_.scoreboard == nullptr && !cfg_.use_breaker) return;
+  const SimTime now = host_->sim().now();
+  std::erase_if(offers_, [this, now](const Offer& offer) {
+    const std::string server = offer.deployment_server.to_string();
+    if (cfg_.scoreboard != nullptr &&
+        cfg_.scoreboard->quarantined(server, now)) {
+      ++offers_quarantined_;
+      telemetry::SpanRecorder::global().instant("offer_quarantined", "pvn",
+                                                pvnc_.name);
+      return true;
+    }
+    if (cfg_.use_breaker) {
+      CircuitBreaker& b = breaker_for(server);
+      const BreakerState before = b.state();
+      const bool allowed = b.allow(now);
+      note_breaker_transition(server, before, b);
+      if (!allowed) {
+        ++offers_quarantined_;
+        telemetry::SpanRecorder::global().instant("offer_breaker_open", "pvn",
+                                                  pvnc_.name);
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
+CircuitBreaker& PvnClient::breaker_for(const std::string& server) {
+  const auto it = breakers_.find(server);
+  if (it != breakers_.end()) return it->second;
+  return breakers_.try_emplace(server, CircuitBreaker(cfg_.breaker))
+      .first->second;
+}
+
+const CircuitBreaker* PvnClient::breaker(const std::string& server) const {
+  const auto it = breakers_.find(server);
+  return it == breakers_.end() ? nullptr : &it->second;
+}
+
+void PvnClient::note_breaker_transition(const std::string& server,
+                                        BreakerState before,
+                                        const CircuitBreaker& b) {
+  if (b.state() == before) return;
+  telemetry::MetricsRegistry::global()
+      .counter("pvn.client.breaker_transitions", to_string(b.state()))
+      .inc();
+  telemetry::SpanRecorder::global().instant(
+      std::string("breaker_") + to_string(b.state()), "pvn", server);
+}
+
 void PvnClient::on_offers_collected() {
   if (!in_progress_ || awaiting_ack_) return;
   phase_span_.finish();  // discovery phase ends when offers are evaluated
+  filter_distrusted_offers();
   if (offers_.empty() &&
       discovery_round_ < cfg_.retry.max_discovery_rounds) {
     start_discovery_round();  // retransmit: the discovery may have been lost
@@ -190,8 +273,11 @@ void PvnClient::on_offers_collected() {
   const int best = pick_best_offer(offers_, requested, cfg_.constraints,
                                    host_->sim().now());
   if (best < 0) {
-    fail(offers_.empty() ? "no offers (network lacks PVN support)"
-                         : "no acceptable offer");
+    // Offers that were heard but vetted out still mean the network spoke
+    // PVN — it just had nothing acceptable to say.
+    fail(offers_.empty() && outcome_.offers_vetted_out == 0
+             ? "no offers (network lacks PVN support)"
+             : "no acceptable offer");
     return;
   }
   chosen_offer_ = offers_[static_cast<std::size_t>(best)];
@@ -288,6 +374,47 @@ void PvnClient::fail(const std::string& reason) {
   finish(outcome_);
 }
 
+void PvnClient::account_deploy_result(const DeployOutcome& outcome) {
+  const std::string server = chosen_offer_.deployment_server.to_string();
+  const SimTime now = host_->sim().now();
+  if (outcome.ok) {
+    busy_streaks_.erase(server);
+    pending_retry_after_ = 0;
+    if (cfg_.scoreboard != nullptr) {
+      cfg_.scoreboard->report_success(server, now);
+    }
+    if (cfg_.use_breaker) {
+      CircuitBreaker& b = breaker_for(server);
+      const BreakerState before = b.state();
+      b.record_success();
+      note_breaker_transition(server, before, b);
+    }
+    return;
+  }
+  if (outcome.nack_code == NackCode::kBusy) {
+    ++busy_nacks_;
+    pending_retry_after_ = outcome.retry_after;
+    // A busy server is behaving — unless it sheds everything forever. A
+    // run of kBusy with no success in between is reported as a NAK flood.
+    int& streak = busy_streaks_[server];
+    if (++streak >= cfg_.nak_flood_streak && cfg_.scoreboard != nullptr) {
+      streak = 0;
+      cfg_.scoreboard->report(server, Misbehavior::kNakFlood, now);
+    }
+  } else {
+    busy_streaks_.erase(server);
+  }
+  if (outcome.failure == "deploy timeout" && cfg_.scoreboard != nullptr) {
+    cfg_.scoreboard->report(server, Misbehavior::kDeployTimeout, now);
+  }
+  if (cfg_.use_breaker) {
+    CircuitBreaker& b = breaker_for(server);
+    const BreakerState before = b.state();
+    b.record_failure(now);
+    note_breaker_transition(server, before, b);
+  }
+}
+
 void PvnClient::finish(DeployOutcome outcome) {
   cancel_timer(collect_timer_);
   cancel_timer(rto_timer_);
@@ -295,6 +422,9 @@ void PvnClient::finish(DeployOutcome outcome) {
   in_progress_ = false;
   awaiting_ack_ = false;
   (outcome.ok ? m_deploys_ok_ : m_deploys_failed_)->inc();
+  // Only deploy-phase outcomes score the server: a failed discovery round
+  // never chose one.
+  if (outcome.deploy_attempts > 0) account_deploy_result(outcome);
   phase_span_.finish();
   cycle_span_.finish();
   outcome.elapsed = host_->sim().now() - started_;
@@ -381,7 +511,11 @@ void PvnClient::enter_active(const DeployOutcome& outcome) {
   }
   chain_id_ = outcome.chain_id;
   lease_ = outcome.lease_duration;
-  active_server_ = server_;
+  // The lease lives wherever the winning offer came from — with competing
+  // networks in the auction (extra_servers) that is not necessarily the
+  // discovery target, and renewing against the wrong host would silently
+  // let the real lease lapse.
+  active_server_ = chosen_offer_.deployment_server;
   renew_misses_ = 0;
   fallback_delay_ = 0;
   degraded_modules_.clear();
@@ -449,6 +583,10 @@ void PvnClient::enter_fallback() {
     delay = static_cast<SimDuration>(static_cast<double>(delay) *
                                      rng_.uniform(1.0 - j, 1.0 + j));
   }
+  // Backpressure: a shedding server told us when to come back; retrying
+  // sooner would only earn another kBusy.
+  if (pending_retry_after_ > delay) delay = pending_retry_after_;
+  pending_retry_after_ = 0;
   fallback_timer_ = host_->sim().schedule_after(delay, SimCategory::kPvnControl, [this] {
     fallback_timer_ = kInvalidEventId;
     session_cycle();
@@ -458,7 +596,14 @@ void PvnClient::enter_fallback() {
 void PvnClient::send_renew() {
   if (!session_ || state_ != SessionState::kActive) return;
   if (renew_misses_ >= cfg_.session.renew_miss_limit) {
-    // The server has stopped answering: treat the PVN as lost.
+    // The server has stopped answering: treat the PVN as lost. A host that
+    // acked the deployment but then ignores the lease it granted (blackhole)
+    // broke its word — charge it as an audit failure so a shared scoreboard
+    // steers the fleet's next discovery round elsewhere.
+    if (cfg_.scoreboard != nullptr) {
+      cfg_.scoreboard->report(active_server_.to_string(),
+                              Misbehavior::kAuditFailure, host_->sim().now());
+    }
     enter_fallback();
     return;
   }

@@ -12,10 +12,23 @@
 //     lease periodically; when the lease is lost — renewals unanswered or
 //     refused — it fails over to a device VPN tunnel (tunnel/vpn.h
 //     DeviceTunnel) and keeps rediscovering until the PVN comes back.
+//
+// Untrusted-host defenses (robustness):
+//   - Every collected offer is vetted against sanity bounds (vet_offer);
+//     bogus offers are dropped before negotiation and reported against the
+//     sender on the shared HostScoreboard (when configured).
+//   - Offers from quarantined hosts are excluded from selection, so a host
+//     that misbehaved recently cannot win the auction again until its
+//     reputation rehabilitates.
+//   - A per-server circuit breaker (opt-in) stops hammering a host that
+//     keeps failing deploys; kBusy NAKs honor the server's retry-after hint
+//     instead of retrying on the client's own schedule.
 #pragma once
 
 #include <functional>
+#include <map>
 
+#include "audit/reputation.h"
 #include "proto/host.h"
 #include "pvn/negotiation.h"
 #include "telemetry/metrics.h"
@@ -42,6 +55,12 @@ struct DeployOutcome {
   int discovery_rounds = 0;    // discovery messages sent
   int deploy_attempts = 0;     // deploy request transmissions
   SimDuration lease_duration = 0;  // 0 = server granted no lease
+  // Robustness telemetry: the typed refusal when the failure was a NACK,
+  // the server's retry-after hint (kBusy load shedding), and how many
+  // collected offers were dropped by sanity vetting this cycle.
+  NackCode nack_code = NackCode::kUnspecified;
+  SimDuration retry_after = 0;
+  int offers_vetted_out = 0;
 };
 
 // Retransmission parameters. Delays grow by `backoff` per attempt and are
@@ -78,6 +97,27 @@ struct ClientConfig {
   std::string pvnc_uri;
   RetryPolicy retry;
   SessionConfig session;
+
+  // --- untrusted-host defenses ----------------------------------------
+  // Sanity bounds every collected offer must pass before negotiation.
+  // Defaults are generous; honest servers in this repo stay well inside.
+  OfferBounds offer_bounds;
+  bool vet_offers = true;
+  // Shared reputation over deployment servers (keyed by the server address
+  // string). Optional: when set, bogus offers and misbehavior are reported
+  // here, and offers from quarantined hosts are excluded from selection.
+  // Must outlive the client.
+  HostScoreboard* scoreboard = nullptr;
+  // Per-server circuit breaker on deploy failures (NAKs, timeouts). Opt-in
+  // via use_breaker so the default client behaves exactly as before.
+  bool use_breaker = false;
+  CircuitBreakerConfig breaker;
+  // Consecutive kBusy NAKs from one server before it is reported to the
+  // scoreboard as a NAK flood.
+  int nak_flood_streak = 3;
+  // Additional deployment servers to probe each discovery round (competing
+  // access networks); their offers join the same auction.
+  std::vector<Ipv4Addr> extra_servers;
 };
 
 enum class SessionState { kIdle, kDiscovering, kDeploying, kActive, kFallback };
@@ -140,6 +180,13 @@ class PvnClient {
   std::uint64_t renews_sent() const { return renews_sent_; }
   std::uint64_t renews_acked() const { return renews_acked_; }
   std::uint64_t migrations() const { return migrations_; }
+  // Robustness telemetry.
+  std::uint64_t offers_rejected() const { return offers_rejected_; }
+  std::uint64_t offers_quarantined() const { return offers_quarantined_; }
+  std::uint64_t busy_nacks() const { return busy_nacks_; }
+  // The breaker guarding `server` (address string); nullptr when the
+  // client has never attempted that server or breakers are disabled.
+  const CircuitBreaker* breaker(const std::string& server) const;
 
  private:
   void on_packet(const Bytes& payload);
@@ -161,6 +208,15 @@ class PvnClient {
   SimDuration jittered(SimDuration base, int attempt) const;
   SimDuration renew_delay() const;
   void cancel_timer(EventId& id);
+
+  // Untrusted-host defenses.
+  bool accept_offer(const Offer& offer);      // vet + report; false = drop
+  void filter_distrusted_offers();            // quarantine + breaker gate
+  CircuitBreaker& breaker_for(const std::string& server);
+  void note_breaker_transition(const std::string& server, BreakerState before,
+                               const CircuitBreaker& b);
+  // Scores the deploy result against the chosen server's breaker/reputation.
+  void account_deploy_result(const DeployOutcome& outcome);
 
   Host* host_;
   Pvnc pvnc_;
@@ -217,6 +273,14 @@ class PvnClient {
   std::uint64_t renews_sent_ = 0;
   std::uint64_t renews_acked_ = 0;
   std::uint64_t migrations_ = 0;
+
+  // Untrusted-host defense state.
+  std::uint64_t offers_rejected_ = 0;     // failed vet_offer
+  std::uint64_t offers_quarantined_ = 0;  // sender quarantined / breaker open
+  std::uint64_t busy_nacks_ = 0;
+  std::map<std::string, CircuitBreaker> breakers_;  // by server address
+  std::map<std::string, int> busy_streaks_;         // consecutive kBusy NAKs
+  SimDuration pending_retry_after_ = 0;  // server's hint for the next retry
 
   // Telemetry: aggregate control-plane counters plus the spans currently
   // open for this client's session track (session id = device id).

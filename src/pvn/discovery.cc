@@ -1,5 +1,7 @@
 #include "pvn/discovery.h"
 
+#include <cmath>
+
 namespace pvn {
 namespace {
 
@@ -21,6 +23,64 @@ std::vector<std::string> decode_strings(ByteReader& r) {
 }
 
 }  // namespace
+
+const char* to_string(NackCode code) {
+  switch (code) {
+    case NackCode::kUnspecified: return "unspecified";
+    case NackCode::kBusy: return "busy";
+    case NackCode::kOutOfMemory: return "out-of-memory";
+    case NackCode::kPolicy: return "policy";
+    case NackCode::kPayment: return "payment";
+    case NackCode::kInvalidPvnc: return "invalid-pvnc";
+    case NackCode::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
+const char* to_string(OfferDefect defect) {
+  switch (defect) {
+    case OfferDefect::kNone: return "none";
+    case OfferDefect::kPriceNotFinite: return "price-not-finite";
+    case OfferDefect::kPriceAbsurd: return "price-absurd";
+    case OfferDefect::kExpired: return "expired";
+    case OfferDefect::kExpiryTooFar: return "expiry-too-far";
+    case OfferDefect::kLeaseTooShort: return "lease-too-short";
+    case OfferDefect::kLeaseTooLong: return "lease-too-long";
+    case OfferDefect::kCapacityImplausible: return "capacity-implausible";
+    case OfferDefect::kInsufficientCapacity: return "insufficient-capacity";
+  }
+  return "?";
+}
+
+OfferDefect vet_offer(const Offer& offer, std::int64_t est_memory_bytes,
+                      const OfferBounds& bounds, SimTime now) {
+  if (!std::isfinite(offer.total_price) || offer.total_price < 0.0) {
+    return OfferDefect::kPriceNotFinite;
+  }
+  if (offer.total_price > bounds.max_price) return OfferDefect::kPriceAbsurd;
+  if (offer.expires_at != 0) {
+    if (offer.expires_at <= now) return OfferDefect::kExpired;
+    if (offer.expires_at - now > bounds.max_offer_ttl) {
+      return OfferDefect::kExpiryTooFar;
+    }
+  }
+  if (offer.lease_duration != 0) {
+    if (offer.lease_duration < bounds.min_lease) {
+      return OfferDefect::kLeaseTooShort;
+    }
+    if (offer.lease_duration > bounds.max_lease) {
+      return OfferDefect::kLeaseTooLong;
+    }
+  }
+  if (offer.capacity_bytes < 0 ||
+      offer.capacity_bytes > bounds.max_capacity_bytes) {
+    return OfferDefect::kCapacityImplausible;
+  }
+  if (bounds.require_capacity && offer.capacity_bytes < est_memory_bytes) {
+    return OfferDefect::kInsufficientCapacity;
+  }
+  return OfferDefect::kNone;
+}
 
 Bytes wrap(PvnMsgType type, const Bytes& body) {
   ByteWriter w;
@@ -68,6 +128,8 @@ Bytes Offer::encode() const {
   w.f64(total_price);
   w.i64(expires_at);
   w.u8(standby_capacity ? 1 : 0);
+  w.i64(lease_duration);
+  w.i64(capacity_bytes);
   return std::move(w).take();
 }
 
@@ -81,7 +143,14 @@ std::optional<Offer> Offer::decode(const Bytes& raw) {
   o.total_price = r.f64();
   o.expires_at = r.i64();
   o.standby_capacity = r.u8() != 0;
+  o.lease_duration = r.i64();
+  o.capacity_bytes = r.i64();
   if (!r.exhausted()) return std::nullopt;
+  // Structural hardening: field values no honest encoder produces are
+  // rejected here; subtler adversarial-but-well-formed values are left to
+  // vet_offer so the client can attribute them to the sender.
+  if (!std::isfinite(o.total_price)) return std::nullopt;
+  if (o.expires_at < 0 || o.lease_duration < 0) return std::nullopt;
   return o;
 }
 
@@ -199,6 +268,8 @@ Bytes DeployNack::encode() const {
   ByteWriter w;
   w.u32(seq);
   w.str(reason);
+  w.u8(static_cast<std::uint8_t>(code));
+  w.i64(retry_after);
   return std::move(w).take();
 }
 
@@ -207,7 +278,14 @@ std::optional<DeployNack> DeployNack::decode(const Bytes& raw) {
   DeployNack m;
   m.seq = r.u32();
   m.reason = r.str();
+  const std::uint8_t code = r.u8();
+  m.retry_after = r.i64();
   if (!r.exhausted()) return std::nullopt;
+  if (code > static_cast<std::uint8_t>(NackCode::kUnavailable)) {
+    return std::nullopt;
+  }
+  m.code = static_cast<NackCode>(code);
+  if (m.retry_after < 0) return std::nullopt;
   return m;
 }
 
@@ -261,6 +339,28 @@ std::optional<StateTransfer> StateTransfer::decode(const Bytes& raw) {
   m.chain_id = r.str();
   m.ok = r.u8() != 0;
   m.checkpoint = r.blob();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+Bytes StateAck::encode() const {
+  ByteWriter w;
+  w.u32(seq);
+  w.str(device_id);
+  w.str(chain_id);
+  w.u8(applied ? 1 : 0);
+  w.blob(digest);
+  return std::move(w).take();
+}
+
+std::optional<StateAck> StateAck::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  StateAck m;
+  m.seq = r.u32();
+  m.device_id = r.str();
+  m.chain_id = r.str();
+  m.applied = r.u8() != 0;
+  m.digest = r.blob();
   if (!r.exhausted()) return std::nullopt;
   return m;
 }

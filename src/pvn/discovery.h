@@ -41,7 +41,25 @@ enum class PvnMsgType : std::uint8_t {
   // stream to warm standbys / migration targets as kStateTransfer.
   kStateRequest = 10,
   kStateTransfer = 11,
+  // Robustness: a standby acknowledges each applied checkpoint with the
+  // digest of what it applied, so the server can cross-check a Byzantine
+  // standby that drops or corrupts state while claiming to hold it.
+  kStateAck = 12,
 };
+
+// Why a deployment request was refused. kBusy carries a retry-after hint:
+// the server is shedding load, not rejecting the request on its merits, so
+// the client should back off and retry instead of failing over.
+enum class NackCode : std::uint8_t {
+  kUnspecified = 0,
+  kBusy = 1,          // admission control shed; honor retry_after
+  kOutOfMemory = 2,   // middlebox pool cannot hold the chain
+  kPolicy = 3,        // a module is not allowed on this network
+  kPayment = 4,       // offered payment below the quoted price
+  kInvalidPvnc = 5,   // the PVNC (or its URI) failed validation
+  kUnavailable = 6,   // mbox host crashed / no dataplane
+};
+const char* to_string(NackCode code);
 
 struct DiscoveryMessage {
   std::uint32_t seq = 0;  // incremented per discovery attempt (§3.1)
@@ -64,10 +82,54 @@ struct Offer {
   // The network has a second mbox host and will place a warm-standby chain
   // (checkpoint-fed) next to every deployment it accepts.
   bool standby_capacity = false;
+  // Lease the server would grant (0 = deploy-forever). Advertised so the
+  // device can reject absurd terms before paying for a deployment.
+  SimDuration lease_duration = 0;
+  // Middlebox memory the server claims to have free. A host that lies here
+  // (to attract deployments it cannot serve) is caught by vet_offer's
+  // plausibility bound and, later, by deploy failures feeding reputation.
+  std::int64_t capacity_bytes = 0;
 
   Bytes encode() const;
   static std::optional<Offer> decode(const Bytes& raw);
 };
+
+// Client-side sanity vetting of a decoded offer (untrusted-host defense):
+// structural decode alone cannot reject an offer whose fields are
+// well-formed but adversarial — a near-zero lease that forces renewal
+// storms, a price no honest network would quote, a capacity claim no
+// hardware could back. Offers failing a bound are dropped before
+// negotiation and reported against the sender's reputation.
+enum class OfferDefect : std::uint8_t {
+  kNone = 0,
+  kPriceNotFinite,        // NaN / inf / negative price
+  kPriceAbsurd,           // above any plausible quote
+  kExpired,               // expiry already in the past
+  kExpiryTooFar,          // TTL beyond any honest offer lifetime
+  kLeaseTooShort,         // nonzero lease shorter than a renewal can sustain
+  kLeaseTooLong,          // lease longer than any honest network grants
+  kCapacityImplausible,   // negative, or more memory than hardware allows
+  kInsufficientCapacity,  // less free memory than the request needs
+};
+const char* to_string(OfferDefect defect);
+
+struct OfferBounds {
+  double max_price = 10'000.0;
+  SimDuration min_lease = milliseconds(100);
+  SimDuration max_lease = seconds(7 * 24 * 3600);
+  SimDuration max_offer_ttl = seconds(3600);
+  std::int64_t max_capacity_bytes = 1LL << 40;  // 1 TiB of mbox memory
+  // When true, offers advertising less free capacity than the requested
+  // chain needs are rejected client-side (kInsufficientCapacity) instead of
+  // being discovered via a deploy NAK. Off by default: a legitimately full
+  // host is not misbehaving, and tests/benches exercise the NAK path.
+  bool require_capacity = false;
+};
+
+// Returns the first defect found, or kNone for a sane offer.
+// `est_memory_bytes` is what the requesting device's chain needs.
+OfferDefect vet_offer(const Offer& offer, std::int64_t est_memory_bytes,
+                      const OfferBounds& bounds, SimTime now);
 
 struct DeployRequest {
   std::uint32_t seq = 0;
@@ -139,6 +201,10 @@ struct LeaseAck {
 struct DeployNack {
   std::uint32_t seq = 0;
   std::string reason;
+  NackCode code = NackCode::kUnspecified;
+  // kBusy / kOutOfMemory: how long the client should wait before retrying
+  // this server. 0 = no hint (fail over immediately).
+  SimDuration retry_after = 0;
 
   Bytes encode() const;
   static std::optional<DeployNack> decode(const Bytes& raw);
@@ -175,6 +241,21 @@ struct StateTransfer {
 
   Bytes encode() const;
   static std::optional<StateTransfer> decode(const Bytes& raw);
+};
+
+// A standby's acknowledgment of one applied kStateTransfer. `digest` is the
+// digest of the checkpoint bytes the standby actually applied; the server
+// cross-checks it against what it sent, so a Byzantine standby that drops
+// or rewrites state while claiming to hold it is detected and demoted.
+struct StateAck {
+  std::uint32_t seq = 0;
+  std::string device_id;
+  std::string chain_id;
+  bool applied = false;
+  Bytes digest;
+
+  Bytes encode() const;
+  static std::optional<StateAck> decode(const Bytes& raw);
 };
 
 // Wraps/unwraps a typed message for the UDP payload.

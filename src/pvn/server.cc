@@ -35,14 +35,26 @@ DeploymentServer::DeploymentServer(Host& host, PvnStore& store,
   m_state_requests_ = &reg.counter("pvn.server.state_requests");
   m_handoffs_completed_ = &reg.counter("pvn.server.handoffs_completed");
   m_handoff_timeouts_ = &reg.counter("pvn.server.handoff_timeouts");
+  m_sheds_ = &reg.counter("pvn.server.deploys_shed");
+  m_bad_state_acks_ = &reg.counter("pvn.server.bad_state_acks");
+  m_standbys_demoted_ = &reg.counter("pvn.server.standbys_demoted");
+  m_standbys_remirrored_ = &reg.counter("pvn.server.standbys_remirrored");
   telemetry::SpanRecorder::global().set_clock(&host_->sim());
   host_->bind_udp(kPvnPort, [this](Ipv4Addr src, Port sport, Port,
                                    const Bytes& payload) {
     on_packet(src, sport, payload);
   });
   mbox_host_->set_crash_listener([this] { on_mbox_crash(); });
+  // The legacy single-standby config is pool 0; extra pools follow.
   if (cfg_.standby_host != nullptr) {
-    cfg_.standby_host->set_crash_listener([this] { on_standby_crash(); });
+    pools_.push_back({cfg_.standby_host, cfg_.standby_addr, false, 0});
+  }
+  for (const StandbyPoolConfig& pc : cfg_.extra_standbys) {
+    if (pc.host != nullptr) pools_.push_back({pc.host, pc.addr, false, 0});
+  }
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    pools_[i].host->set_crash_listener(
+        [this, i] { on_standby_crash(static_cast<int>(i)); });
   }
 }
 
@@ -55,9 +67,7 @@ DeploymentServer::~DeploymentServer() {
     if (ph.timer != kInvalidEventId) host_->sim().cancel(ph.timer);
   }
   mbox_host_->set_crash_listener(nullptr);
-  if (cfg_.standby_host != nullptr) {
-    cfg_.standby_host->set_crash_listener(nullptr);
-  }
+  for (StandbyPool& pool : pools_) pool.host->set_crash_listener(nullptr);
   host_->unbind_udp(kPvnPort);
 }
 
@@ -102,6 +112,12 @@ void DeploymentServer::on_packet(Ipv4Addr src, Port sport,
       }
       break;
     }
+    case PvnMsgType::kStateAck: {
+      if (const auto sa = StateAck::decode(msg->second)) {
+        handle_state_ack(*sa);
+      }
+      break;
+    }
     default:
       break;
   }
@@ -137,20 +153,30 @@ void DeploymentServer::handle_discovery(Ipv4Addr src, Port sport,
   offer.total_price =
       store_->price_of(offer.offered_modules) * cfg_.price_multiplier;
   offer.expires_at = host_->sim().now() + cfg_.offer_ttl;
-  offer.standby_capacity =
-      cfg_.standby_host != nullptr && !cfg_.standby_host->crashed();
+  offer.standby_capacity = standby_available();
+  // Advertise terms up front so the device can vet them before paying.
+  offer.lease_duration = cfg_.lease_duration;
+  offer.capacity_bytes =
+      std::max<std::int64_t>(0, mbox_host_->memory_budget() -
+                                    mbox_host_->memory_in_use());
   m_offers_sent_->inc();
   host_->send_udp(src, kPvnPort, sport,
                   wrap(PvnMsgType::kOffer, offer.encode()));
 }
 
 void DeploymentServer::nack(Ipv4Addr dst, Port dport, std::uint32_t seq,
-                            const std::string& reason) {
+                            const std::string& reason, NackCode code,
+                            SimDuration retry_after) {
   ++nacks_;
   m_nacks_->inc();
+  telemetry::MetricsRegistry::global()
+      .counter("pvn.server.nacks_by_code", to_string(code))
+      .inc();
   DeployNack nack_msg;
   nack_msg.seq = seq;
   nack_msg.reason = reason;
+  nack_msg.code = code;
+  nack_msg.retry_after = retry_after;
   host_->send_udp(dst, kPvnPort, dport,
                   wrap(PvnMsgType::kDeployNack, nack_msg.encode()));
 }
@@ -164,7 +190,7 @@ void DeploymentServer::resolve_and_deploy(Ipv4Addr src, Port sport,
   Ipv4Addr storage;
   std::string path;
   if (!parse_pvnc_uri(req.pvnc_uri, storage, path)) {
-    nack(src, sport, req.seq, "malformed pvnc uri");
+    nack(src, sport, req.seq, "malformed pvnc uri", NackCode::kInvalidPvnc);
     return;
   }
   if (http_ == nullptr) http_ = std::make_unique<HttpClient>(*host_);
@@ -172,12 +198,14 @@ void DeploymentServer::resolve_and_deploy(Ipv4Addr src, Port sport,
                [this, src, sport, req = std::move(req)](
                    const HttpResponse& resp, const FetchTiming& t) mutable {
                  if (!t.ok) {
-                   nack(src, sport, req.seq, "pvnc uri unreachable");
+                   nack(src, sport, req.seq, "pvnc uri unreachable",
+                        NackCode::kUnavailable);
                    return;
                  }
                  const auto fetched = Pvnc::decode(resp.body);
                  if (!fetched) {
-                   nack(src, sport, req.seq, "pvnc uri object malformed");
+                   nack(src, sport, req.seq, "pvnc uri object malformed",
+                        NackCode::kInvalidPvnc);
                    return;
                  }
                  req.pvnc = *fetched;
@@ -219,17 +247,33 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
     m_duplicate_deploys_->inc();
     return;  // the in-flight deployment will answer
   }
+  // Admission control (load shedding): a bounded in-flight queue. Excess
+  // requests get an explicit kBusy NAK with a retry-after hint — the flash
+  // crowd backs off instead of retransmitting into silence.
+  if (cfg_.max_pending_deploys > 0 &&
+      pending_.size() >= cfg_.max_pending_deploys &&
+      !pending_.contains(req.device_id)) {
+    ++sheds_;
+    m_sheds_->inc();
+    telemetry::SpanRecorder::global().instant("deploy_shed", "pvn",
+                                              req.device_id);
+    nack(src, sport, req.seq, "server busy", NackCode::kBusy,
+         cfg_.busy_retry_after);
+    return;
+  }
   // Validate against the store.
   const std::vector<std::string> problems = validate_pvnc(req.pvnc, store_);
   if (!problems.empty()) {
-    nack(src, sport, req.seq, "invalid pvnc: " + problems.front());
+    nack(src, sport, req.seq, "invalid pvnc: " + problems.front(),
+         NackCode::kInvalidPvnc);
     return;
   }
   // Policy check: every module must be allowed here.
   for (const std::string& module : req.pvnc.module_names()) {
     if (!cfg_.allowed_modules.empty() &&
         !cfg_.allowed_modules.contains(module)) {
-      nack(src, sport, req.seq, "module not allowed: " + module);
+      nack(src, sport, req.seq, "module not allowed: " + module,
+           NackCode::kPolicy);
       return;
     }
   }
@@ -237,17 +281,25 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
   const double price =
       store_->price_of(req.pvnc.module_names()) * cfg_.price_multiplier;
   if (req.payment + 1e-9 < price) {
-    nack(src, sport, req.seq, "insufficient payment");
+    nack(src, sport, req.seq, "insufficient payment", NackCode::kPayment);
     return;
   }
   if (mbox_host_->crashed()) {
-    nack(src, sport, req.seq, "middlebox host unavailable");
+    nack(src, sport, req.seq, "middlebox host unavailable",
+         NackCode::kUnavailable);
     return;
   }
-  // Memory admission control.
-  if (mbox_host_->memory_in_use() + req.pvnc.est_memory_bytes() >
+  // Memory admission control, priced at the host's actual per-instance cost
+  // (the PVNC's own estimate assumes the default 6 MiB and can undershoot a
+  // host configured with heavier instances, which used to let a deploy past
+  // admission only to fail — and leak — mid-instantiation).
+  const std::int64_t chain_cost =
+      static_cast<std::int64_t>(req.pvnc.chain.size()) *
+      mbox_host_->config().memory_per_instance;
+  if (mbox_host_->memory_in_use() + chain_cost >
       mbox_host_->memory_budget()) {
-    nack(src, sport, req.seq, "out of middlebox memory");
+    nack(src, sport, req.seq, "out of middlebox memory",
+         NackCode::kOutOfMemory, cfg_.busy_retry_after);
     return;
   }
   // Tear down any previous deployment for this device.
@@ -301,8 +353,12 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
 
     SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name);
     if (sw == nullptr) {
+      if (deployment->mbox_generation == mbox_host_->crashes()) {
+        for (Middlebox* m : deployment->instances) mbox_host_->destroy(m);
+        mbox_host_->destroy_chain(deployment->chain_id);
+      }
       pending_.erase(req.device_id);
-      nack(src, sport, req.seq, "no dataplane");
+      nack(src, sport, req.seq, "no dataplane", NackCode::kUnavailable);
       deploy_span->finish();
       return;
     }
@@ -320,8 +376,7 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
       ack.seq = req.seq;
       ack.chain_id = deployment->chain_id;
       ack.lease_duration = cfg_.lease_duration;
-      ack.standby =
-          cfg_.standby_host != nullptr && !cfg_.standby_host->crashed();
+      ack.standby = standby_available();
       ack.state_restored = state_restored;
       deployment->ack_bytes = wrap(PvnMsgType::kDeployAck, ack.encode());
       deployments_[req.device_id] = *deployment;
@@ -359,47 +414,72 @@ void DeploymentServer::handle_deploy(Ipv4Addr src, Port sport,
     if (compiled.rules.empty()) after_rules();
   };
 
-  std::vector<PvncModule> to_instantiate;
+  // Make every instance before dispatching any: a store miss mid-chain must
+  // not strand instantiations already in flight.
+  std::vector<std::unique_ptr<Middlebox>> to_instantiate;
   for (const PvncModule& module : req.pvnc.chain) {
     if (module.store_name == skip_module_) continue;  // dishonest ISP model
-    to_instantiate.push_back(module);
+    std::unique_ptr<Middlebox> instance =
+        store_->make(module.store_name, module.params);
+    if (instance == nullptr) {
+      mbox_host_->destroy_chain(chain_id);
+      pending_.erase(req.device_id);
+      nack(src, sport, req.seq, "cannot instantiate " + module.store_name,
+           NackCode::kInvalidPvnc);
+      deploy_span->finish();
+      return;
+    }
+    to_instantiate.push_back(std::move(instance));
   }
   *remaining = static_cast<int>(to_instantiate.size());
   if (to_instantiate.empty()) {
     finish();
     return;
   }
-  for (const PvncModule& module : to_instantiate) {
-    std::unique_ptr<Middlebox> instance =
-        store_->make(module.store_name, module.params);
-    if (instance == nullptr) {
-      pending_.erase(req.device_id);
-      nack(src, sport, req.seq, "cannot instantiate " + module.store_name);
-      deploy_span->finish();
-      return;
-    }
+  const int generation = mbox_host_->crashes();
+  for (std::unique_ptr<Middlebox>& instance : to_instantiate) {
     mbox_host_->instantiate(
         std::move(instance),
         [this, remaining, failed, deployment, finish, src, sport, req,
-         deploy_span](Middlebox* mbox) {
-          if (*failed) return;
+         deploy_span, generation](Middlebox* mbox) {
+          const bool live = generation == mbox_host_->crashes();
           if (mbox == nullptr) {
-            *failed = true;
-            pending_.erase(req.device_id);
-            nack(src, sport, req.seq,
-                 mbox_host_->crashed() ? "middlebox host unavailable"
-                                       : "out of middlebox memory");
-            deploy_span->finish();
+            if (!*failed) {
+              *failed = true;
+              pending_.erase(req.device_id);
+              nack(src, sport, req.seq,
+                   mbox_host_->crashed() ? "middlebox host unavailable"
+                                         : "out of middlebox memory",
+                   mbox_host_->crashed() ? NackCode::kUnavailable
+                                         : NackCode::kOutOfMemory,
+                   mbox_host_->crashed() ? SimDuration{0}
+                                         : cfg_.busy_retry_after);
+              deploy_span->finish();
+            }
+          } else if (*failed) {
+            // A sibling already failed the deploy; releasing this instance
+            // here (instead of dropping the pointer) is what keeps a
+            // rejected deploy from permanently leaking middlebox memory.
+            if (live) mbox_host_->destroy(mbox);
+          } else {
+            deployment->instances.push_back(mbox);
+          }
+          if (--*remaining > 0) return;
+          if (*failed) {
+            // Reclaim the partial chain once the last sibling reports in.
+            if (live) {
+              for (Middlebox* m : deployment->instances) {
+                mbox_host_->destroy(m);
+              }
+              mbox_host_->destroy_chain(deployment->chain_id);
+            }
             return;
           }
-          deployment->instances.push_back(mbox);
-          if (--*remaining == 0) {
-            // Preserve chain order: instances may be appended out of
-            // order only if instantiation delays differ; they do not.
-            Chain* chain = mbox_host_->chain(deployment->chain_id);
-            for (Middlebox* m : deployment->instances) chain->append(m);
-            finish();
-          }
+          // Preserve chain order: instances may be appended out of
+          // order only if instantiation delays differ; they do not.
+          Chain* chain = mbox_host_->chain(deployment->chain_id);
+          for (Middlebox* m : deployment->instances) chain->append(m);
+          finish();
         });
   }
 }
@@ -423,10 +503,13 @@ void DeploymentServer::teardown_device(const std::string& device_id) {
     for (Middlebox* m : dep.instances) mbox_host_->destroy(m);
     mbox_host_->destroy_chain(dep.chain_id);
   }
-  if (cfg_.standby_host != nullptr &&
-      dep.standby_generation == cfg_.standby_host->crashes()) {
-    for (Middlebox* m : dep.standby_instances) cfg_.standby_host->destroy(m);
-    cfg_.standby_host->destroy_chain(dep.chain_id);
+  if (dep.standby_pool >= 0 &&
+      dep.standby_pool < static_cast<int>(pools_.size())) {
+    MboxHost* standby = pools_[dep.standby_pool].host;
+    if (dep.standby_generation == standby->crashes()) {
+      for (Middlebox* m : dep.standby_instances) standby->destroy(m);
+      standby->destroy_chain(dep.chain_id);
+    }
   }
   deployments_.erase(it);
 }
@@ -474,9 +557,11 @@ void DeploymentServer::on_mbox_crash() {
     if (sw != nullptr) sw->unregister_processor(dep.chain_id);
     // Warm standby first: promote it through the controller so the client
     // sees one control-RTT of elevated latency instead of losing the chain.
-    if (dep.standby_ready && cfg_.standby_host != nullptr &&
-        dep.standby_generation == cfg_.standby_host->crashes()) {
-      if (Chain* standby = cfg_.standby_host->chain(dep.chain_id)) {
+    MboxHost* standby_mbox =
+        dep.standby_pool >= 0 ? pools_[dep.standby_pool].host : nullptr;
+    if (dep.standby_ready && standby_mbox != nullptr &&
+        dep.standby_generation == standby_mbox->crashes()) {
+      if (Chain* standby = standby_mbox->chain(dep.chain_id)) {
         dep.promoted = true;
         if (dep.ckpt_timer != kInvalidEventId) {
           host_->sim().cancel(dep.ckpt_timer);
@@ -539,12 +624,23 @@ void DeploymentServer::arm_sweep() {
 
 void DeploymentServer::sweep() {
   const SimTime now = host_->sim().now();
+  ++sweep_ticks_;
   std::vector<std::string> expired;
+  bool backlog = false;
   for (const auto& [device_id, dep] : deployments_) {
-    if (dep.expires_at != 0 && now >= dep.expires_at) {
-      expired.push_back(device_id);
+    if (dep.expires_at == 0 || now < dep.expires_at) continue;
+    // Amortization: a mass expiry (thousands of leases lapsing in the same
+    // tick) is drained in bounded batches so one sweep cannot monopolize
+    // the event loop; the remainder reschedules at the drain interval.
+    if (cfg_.max_expiries_per_sweep > 0 &&
+        expired.size() >= cfg_.max_expiries_per_sweep) {
+      backlog = true;
+      break;
     }
+    expired.push_back(device_id);
   }
+  max_swept_per_tick_ = std::max<std::uint64_t>(max_swept_per_tick_,
+                                                expired.size());
   for (const std::string& device_id : expired) {
     ++leases_expired_;
     m_leases_expired_->inc();
@@ -552,17 +648,37 @@ void DeploymentServer::sweep() {
                                               device_id);
     teardown_device(device_id);
   }
+  if (backlog && sweep_timer_ == kInvalidEventId) {
+    sweep_timer_ = host_->sim().schedule_after(
+        cfg_.sweep_drain_interval > 0 ? cfg_.sweep_drain_interval
+                                      : milliseconds(10),
+        SimCategory::kPvnControl, [this] {
+          sweep_timer_ = kInvalidEventId;
+          sweep();
+        });
+    return;
+  }
   arm_sweep();
 }
 
 // --- survivability ---------------------------------------------------------
 
+int DeploymentServer::pick_standby_pool() const {
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (pools_[i].byzantine || pools_[i].host->crashed()) continue;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
 void DeploymentServer::setup_standby(const std::string& device_id) {
-  MboxHost* standby = cfg_.standby_host;
-  if (standby == nullptr || standby->crashed()) return;
+  const int pool = pick_standby_pool();
+  if (pool < 0) return;
+  MboxHost* standby = pools_[pool].host;
   const auto it = deployments_.find(device_id);
   if (it == deployments_.end()) return;
   Deployment& dep = it->second;
+  dep.standby_pool = pool;
   dep.standby_generation = standby->crashes();
   const std::string chain_id = dep.chain_id;
 
@@ -590,7 +706,7 @@ void DeploymentServer::setup_standby(const std::string& device_id) {
     standby->instantiate(
         std::move(instance),
         [this, device_id, chain_id, remaining, failed, acc, generation,
-         standby](Middlebox* mbox) {
+         standby, pool](Middlebox* mbox) {
           if (mbox == nullptr) {
             *failed = true;  // standby pool crashed or out of memory
           } else {
@@ -600,7 +716,8 @@ void DeploymentServer::setup_standby(const std::string& device_id) {
           if (generation != standby->crashes()) return;  // crash freed them
           const auto dit = deployments_.find(device_id);
           if (*failed || dit == deployments_.end() ||
-              dit->second.chain_id != chain_id) {
+              dit->second.chain_id != chain_id ||
+              dit->second.standby_pool != pool) {
             // Deployment vanished meanwhile (teardown / redeploy) or the
             // mirror is partial: release the spare capacity.
             for (Middlebox* m : *acc) standby->destroy(m);
@@ -641,6 +758,7 @@ void DeploymentServer::stream_checkpoint(const std::string& device_id) {
   Deployment& dep = it->second;
   if (dep.promoted || !dep.standby_ready || dep.degraded) return;
   if (dep.mbox_generation != mbox_host_->crashes()) return;  // primary gone
+  if (dep.standby_pool < 0) return;
   Chain* chain = mbox_host_->chain(dep.chain_id);
   if (chain == nullptr) return;
   const ChainCheckpoint ckpt = capture_chain(*chain, ++dep.ckpt_seq,
@@ -652,31 +770,43 @@ void DeploymentServer::stream_checkpoint(const std::string& device_id) {
   xfer.chain_id = dep.chain_id;
   xfer.ok = true;
   xfer.checkpoint = ckpt.encode();
+  // Remember what went out so the standby's kStateAck can be cross-checked.
+  dep.last_sent_seq = xfer.seq;
+  dep.last_sent_digest = digest_of(xfer.checkpoint);
   ++checkpoints_streamed_;
   m_checkpoints_streamed_->inc();
   checkpoint_bytes_ += xfer.checkpoint.size();
   m_checkpoint_bytes_->inc(xfer.checkpoint.size());
-  host_->send_udp(cfg_.standby_addr, kPvnPort, kPvnStandbyPort,
+  host_->send_udp(pools_[dep.standby_pool].addr, kPvnPort, kPvnStandbyPort,
                   wrap(PvnMsgType::kStateTransfer, xfer.encode()));
   arm_checkpoint(device_id);
 }
 
-void DeploymentServer::on_standby_crash() {
+void DeploymentServer::on_standby_crash(int pool) {
   // Runs synchronously from the standby MboxHost's crash().
+  MboxHost* standby = pools_[pool].host;
   SdnSwitch* sw = controller_->switch_by_name(cfg_.switch_name);
   std::vector<std::string> to_teardown;
+  std::vector<std::string> to_remirror;
   for (auto& [device_id, dep] : deployments_) {
+    if (dep.standby_pool != pool) continue;
     if (dep.standby_instances.empty() && !dep.standby_ready) continue;
-    if (dep.standby_generation == cfg_.standby_host->crashes()) continue;
+    if (dep.standby_generation == standby->crashes()) continue;
     if (dep.ckpt_timer != kInvalidEventId) {
       host_->sim().cancel(dep.ckpt_timer);
       dep.ckpt_timer = kInvalidEventId;
     }
     dep.standby_ready = false;
     dep.standby_instances.clear();
+    dep.standby_pool = -1;
     ++standbys_lost_;
     m_standbys_lost_->inc();
-    if (!dep.promoted) continue;  // primary still serving; just lost the spare
+    if (!dep.promoted) {
+      // Primary still serving: just lost the spare. Re-mirror onto another
+      // healthy pool when one exists.
+      to_remirror.push_back(device_id);
+      continue;
+    }
     // The live (promoted) chain died with the standby host.
     if (sw != nullptr) sw->unregister_processor(dep.chain_id);
     if (degrade_or_flag_teardown(device_id, dep)) {
@@ -688,6 +818,9 @@ void DeploymentServer::on_standby_crash() {
     m_chains_lost_->inc();
     telemetry::SpanRecorder::global().instant("chain_lost", "pvn", device_id);
     teardown_device(device_id);
+  }
+  for (const std::string& device_id : to_remirror) {
+    setup_standby(device_id);
   }
 }
 
@@ -736,9 +869,9 @@ void DeploymentServer::handle_state_request(Ipv4Addr src, Port sport,
     // The authoritative chain: the standby if traffic was promoted there,
     // otherwise the primary (unless it died or was bypassed).
     Chain* chain = nullptr;
-    if (dep.promoted && cfg_.standby_host != nullptr &&
-        dep.standby_generation == cfg_.standby_host->crashes()) {
-      chain = cfg_.standby_host->chain(dep.chain_id);
+    if (dep.promoted && dep.standby_pool >= 0 &&
+        dep.standby_generation == pools_[dep.standby_pool].host->crashes()) {
+      chain = pools_[dep.standby_pool].host->chain(dep.chain_id);
     } else if (!dep.promoted && !dep.degraded &&
                dep.mbox_generation == mbox_host_->crashes()) {
       chain = mbox_host_->chain(dep.chain_id);
@@ -782,6 +915,70 @@ void DeploymentServer::handle_state_transfer(const StateTransfer& xfer) {
                                               xfer.device_id);
   }
   ph.ack(restored);
+}
+
+void DeploymentServer::handle_state_ack(const StateAck& sa) {
+  if (cfg_.byzantine_ack_threshold <= 0) return;  // cross-check disabled
+  const auto it = deployments_.find(sa.device_id);
+  if (it == deployments_.end()) return;
+  Deployment& dep = it->second;
+  if (dep.chain_id != sa.chain_id || dep.standby_pool < 0) return;
+  if (sa.seq != dep.last_sent_seq) return;  // stale or reordered ack
+  StandbyPool& pool = pools_[dep.standby_pool];
+  const auto digest = Digest::from_bytes(sa.digest);
+  if (sa.applied && digest && *digest == dep.last_sent_digest) {
+    pool.bad_acks = 0;  // consistent: the standby holds what was sent
+    return;
+  }
+  // The standby claims a state it cannot prove (or none at all). One bad
+  // ack could be a duplicated datagram's replay rejection; a run of them
+  // with no consistent ack in between is a lying or broken standby.
+  ++bad_state_acks_;
+  m_bad_state_acks_->inc();
+  if (++pool.bad_acks >= cfg_.byzantine_ack_threshold) {
+    demote_pool(dep.standby_pool, "state acks contradict streamed state");
+  }
+}
+
+void DeploymentServer::demote_pool(int pool, const std::string& why) {
+  StandbyPool& p = pools_[pool];
+  if (p.byzantine) return;
+  p.byzantine = true;
+  ++standbys_demoted_;
+  m_standbys_demoted_->inc();
+  telemetry::SpanRecorder::global().instant("standby_demoted", "pvn", why);
+  std::vector<std::string> to_remirror;
+  for (auto& [device_id, dep] : deployments_) {
+    if (dep.standby_pool != pool) continue;
+    // A promoted deployment is live on this pool's chain; killing it now
+    // would turn a detection into an outage. It keeps serving (degraded
+    // trust) until the session ends.
+    if (dep.promoted) continue;
+    if (dep.ckpt_timer != kInvalidEventId) {
+      host_->sim().cancel(dep.ckpt_timer);
+      dep.ckpt_timer = kInvalidEventId;
+    }
+    if (dep.standby_generation == p.host->crashes()) {
+      for (Middlebox* m : dep.standby_instances) p.host->destroy(m);
+      p.host->destroy_chain(dep.chain_id);
+    }
+    dep.standby_instances.clear();
+    dep.standby_ready = false;
+    dep.standby_pool = -1;
+    to_remirror.push_back(device_id);
+  }
+  // Re-mirror the stranded deployments onto the next healthy pool. The
+  // active sessions never notice: their primaries keep serving throughout.
+  for (const std::string& device_id : to_remirror) {
+    setup_standby(device_id);
+    const auto dit = deployments_.find(device_id);
+    if (dit != deployments_.end() && dit->second.standby_pool >= 0) {
+      ++standbys_remirrored_;
+      m_standbys_remirrored_->inc();
+      telemetry::SpanRecorder::global().instant("standby_remirrored", "pvn",
+                                                device_id);
+    }
+  }
 }
 
 void DeploymentServer::cancel_handoff(const std::string& device_id) {

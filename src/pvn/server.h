@@ -20,6 +20,20 @@
 //     the chain-divert rules so traffic bypasses the dead chain. If a
 //     required module is lost the deployment is torn down and the client
 //     learns via its next (refused) renewal.
+//
+// Robustness (overload + Byzantine standbys):
+//   - Admission control: at most max_pending_deploys deployments may be in
+//     flight; excess requests are shed with an explicit kBusy NAK carrying a
+//     retry-after hint, so a flash crowd backs off instead of retransmitting
+//     into a black hole. Memory-admission failures NAK as kOutOfMemory.
+//   - The lease sweep is amortized: at most max_expiries_per_sweep expired
+//     deployments are torn down per tick, the rest drain on follow-up ticks,
+//     so a mass expiry cannot monopolize the event loop.
+//   - Standby pools: the server can mirror onto several standby hosts. Every
+//     streamed checkpoint is acknowledged (kStateAck) with the digest of
+//     what the standby applied; a pool whose acks repeatedly contradict what
+//     was sent is demoted as Byzantine and its deployments re-mirror onto
+//     the next healthy pool, without disturbing the active sessions.
 #pragma once
 
 #include <map>
@@ -37,6 +51,13 @@
 #include "telemetry/span.h"
 
 namespace pvn {
+
+// One warm-standby compute pool: the mbox host chains mirror onto, and the
+// address of the StandbyAgent fronting it (checkpoint stream destination).
+struct StandbyPoolConfig {
+  MboxHost* host = nullptr;
+  Ipv4Addr addr;
+};
 
 struct ServerConfig {
   std::vector<std::string> standards = {"openflow-lite", "mbox-v1"};
@@ -72,6 +93,26 @@ struct ServerConfig {
   // Migration: how long to wait for the old server's kStateTransfer before
   // acking the deployment with a cold chain.
   SimDuration handoff_timeout = milliseconds(500);
+
+  // --- robustness (overload control + Byzantine standbys) --------------
+  // Bounded pending-work queue: at most this many deployments in flight at
+  // once; excess requests are shed with kBusy + busy_retry_after instead of
+  // being silently queued without bound. 0 = unbounded (no shedding).
+  std::size_t max_pending_deploys = 0;
+  SimDuration busy_retry_after = milliseconds(500);
+  // Lease-sweep amortization: tear down at most this many expired
+  // deployments per sweep tick (0 = unbounded); the backlog drains on
+  // follow-up ticks spaced sweep_drain_interval apart, so a mass expiry
+  // cannot monopolize the event loop.
+  std::size_t max_expiries_per_sweep = 0;
+  SimDuration sweep_drain_interval = milliseconds(10);
+  // Additional standby pools beyond standby_host/standby_addr. A crashed or
+  // demoted (Byzantine) pool fails over to the next healthy one.
+  std::vector<StandbyPoolConfig> extra_standbys;
+  // Demote a standby pool after this many checkpoint acks whose digest
+  // contradicts what was sent (or that report the state unapplied).
+  // <= 0 disables the Byzantine cross-check.
+  int byzantine_ack_threshold = 3;
 };
 
 class DeploymentServer {
@@ -99,6 +140,14 @@ class DeploymentServer {
   std::uint64_t state_requests_served() const { return state_requests_; }
   std::uint64_t handoffs_completed() const { return handoffs_completed_; }
   std::uint64_t handoff_timeouts() const { return handoff_timeouts_; }
+  // Robustness telemetry.
+  std::uint64_t deploys_shed() const { return sheds_; }
+  std::size_t pending_deploys() const { return pending_.size(); }
+  std::uint64_t sweep_ticks() const { return sweep_ticks_; }
+  std::uint64_t max_swept_per_tick() const { return max_swept_per_tick_; }
+  std::uint64_t bad_state_acks() const { return bad_state_acks_; }
+  std::uint64_t standbys_demoted() const { return standbys_demoted_; }
+  std::uint64_t standbys_remirrored() const { return standbys_remirrored_; }
 
   // Test/experiment hook: makes the server a cheater that silently skips
   // instantiating the named module while still charging for it (§3.3
@@ -127,12 +176,25 @@ class DeploymentServer {
     // Survivability bookkeeping.
     Pvnc pvnc;                   // retained to instantiate the standby chain
     std::vector<Middlebox*> standby_instances;
+    int standby_pool = -1;       // index into pools_; -1 = no standby
     int standby_generation = 0;  // standby host crashes() at instantiation
     bool standby_ready = false;
     bool promoted = false;       // traffic now runs on the standby chain
     std::uint64_t ckpt_seq = 0;
     std::map<std::string, Digest> ckpt_digests;  // incremental-capture state
     EventId ckpt_timer = kInvalidEventId;
+    // Byzantine cross-check: digest of the last streamed checkpoint, to be
+    // matched against the standby's kStateAck.
+    std::uint32_t last_sent_seq = 0;
+    Digest last_sent_digest;
+  };
+
+  // Runtime state of one standby pool.
+  struct StandbyPool {
+    MboxHost* host = nullptr;
+    Ipv4Addr addr;
+    bool byzantine = false;  // demoted: never selected again
+    int bad_acks = 0;        // consecutive contradicting StateAcks
   };
 
   // A deployment waiting for the old server's checkpoint (live migration).
@@ -152,7 +214,8 @@ class DeploymentServer {
   void handle_teardown(Ipv4Addr src, Port sport, const Teardown& td);
   void handle_renew(Ipv4Addr src, Port sport, const LeaseRenew& renew);
   void nack(Ipv4Addr dst, Port dport, std::uint32_t seq,
-            const std::string& reason);
+            const std::string& reason,
+            NackCode code = NackCode::kUnspecified, SimDuration retry_after = 0);
 
   // Removes a device's deployment: flow rules, chain processor, middlebox
   // instances (unless the MboxHost crash already destroyed them).
@@ -170,9 +233,19 @@ class DeploymentServer {
   void setup_standby(const std::string& device_id);
   void arm_checkpoint(const std::string& device_id);
   void stream_checkpoint(const std::string& device_id);
+  // First pool that is present, healthy, and not demoted; -1 if none.
+  int pick_standby_pool() const;
+  bool standby_available() const { return pick_standby_pool() >= 0; }
+  // Cross-checks a standby's checkpoint ack against what was streamed;
+  // enough contradictions demote the pool as Byzantine.
+  void handle_state_ack(const StateAck& sa);
+  // Marks the pool Byzantine, destroys its standby chains, and re-mirrors
+  // the affected deployments onto the next healthy pool. Active sessions
+  // (still running on their primaries) are untouched.
+  void demote_pool(int pool, const std::string& why);
   // Standby host crash: promoted deployments lose their chain (degrade or
   // teardown); unpromoted ones just lose the warm spare.
-  void on_standby_crash();
+  void on_standby_crash(int pool);
   // Degrades `dep` in place when every lost module was optional; returns
   // true when the deployment must be torn down instead.
   bool degrade_or_flag_teardown(const std::string& device_id, Deployment& dep);
@@ -189,6 +262,7 @@ class DeploymentServer {
   Controller* controller_;
   Ledger* ledger_;
   ServerConfig cfg_;
+  std::vector<StandbyPool> pools_;  // standby_host + extra_standbys
   std::map<std::string, Deployment> deployments_;  // by device id
   std::map<std::string, Bytes> pending_;  // in-flight deploys, encoded request
   std::map<std::string, PendingHandoff> pending_handoffs_;  // by device id
@@ -208,6 +282,12 @@ class DeploymentServer {
   std::uint64_t state_requests_ = 0;
   std::uint64_t handoffs_completed_ = 0;
   std::uint64_t handoff_timeouts_ = 0;
+  std::uint64_t sheds_ = 0;
+  std::uint64_t sweep_ticks_ = 0;
+  std::uint64_t max_swept_per_tick_ = 0;
+  std::uint64_t bad_state_acks_ = 0;
+  std::uint64_t standbys_demoted_ = 0;
+  std::uint64_t standbys_remirrored_ = 0;
   std::uint32_t state_seq_ = 0;  // StateRequest sequence numbers
   std::uint64_t chain_seq_ = 0;
   EventId sweep_timer_ = kInvalidEventId;
@@ -231,6 +311,10 @@ class DeploymentServer {
   telemetry::Counter* m_state_requests_ = nullptr;
   telemetry::Counter* m_handoffs_completed_ = nullptr;
   telemetry::Counter* m_handoff_timeouts_ = nullptr;
+  telemetry::Counter* m_sheds_ = nullptr;
+  telemetry::Counter* m_bad_state_acks_ = nullptr;
+  telemetry::Counter* m_standbys_demoted_ = nullptr;
+  telemetry::Counter* m_standbys_remirrored_ = nullptr;
   std::unique_ptr<class HttpClient> http_;  // for pvnc:// URI resolution
 };
 

@@ -1,5 +1,7 @@
 #include "pvn/standby.h"
 
+#include "util/digest.h"
+
 namespace pvn {
 
 StandbyAgent::StandbyAgent(Host& host, MboxHost& standby)
@@ -9,24 +11,50 @@ StandbyAgent::StandbyAgent(Host& host, MboxHost& standby)
   m_rejected_ = &reg.counter("pvn.standby.checkpoints_rejected");
   m_bytes_ = &reg.counter("pvn.standby.bytes_received");
   host_->bind_udp(kPvnStandbyPort,
-                  [this](Ipv4Addr, Port, Port, const Bytes& payload) {
-                    on_packet(payload);
+                  [this](Ipv4Addr src, Port sport, Port, const Bytes& payload) {
+                    on_packet(src, sport, payload);
                   });
 }
 
 StandbyAgent::~StandbyAgent() { host_->unbind_udp(kPvnStandbyPort); }
 
-void StandbyAgent::on_packet(const Bytes& payload) {
+void StandbyAgent::ack(Ipv4Addr dst, Port dport, const StateTransfer& xfer,
+                       bool applied, const Bytes& digest) {
+  StateAck sa;
+  sa.seq = xfer.seq;
+  sa.device_id = xfer.device_id;
+  sa.chain_id = xfer.chain_id;
+  sa.applied = applied;
+  sa.digest = digest;
+  host_->send_udp(dst, kPvnStandbyPort, dport,
+                  wrap(PvnMsgType::kStateAck, sa.encode()));
+}
+
+void StandbyAgent::on_packet(Ipv4Addr src, Port sport, const Bytes& payload) {
   const auto msg = unwrap(payload);
   if (!msg || msg->first != PvnMsgType::kStateTransfer) return;
   const auto xfer = StateTransfer::decode(msg->second);
   if (!xfer || !xfer->ok) return;
   bytes_ += xfer->checkpoint.size();
   m_bytes_->inc(xfer->checkpoint.size());
+  if (byzantine_) {
+    // Claim the state was applied while holding none of it. The digest is
+    // computed over bytes the agent never applied — off by the trailing
+    // flip — so an honest cross-check catches the lie immediately.
+    Bytes forged = xfer->checkpoint;
+    if (forged.empty()) {
+      forged.push_back(0x5a);
+    } else {
+      forged.back() ^= 0xff;
+    }
+    ack(src, sport, *xfer, true, digest_of(forged).to_bytes());
+    return;
+  }
   const auto ckpt = ChainCheckpoint::decode(xfer->checkpoint);
   if (!ckpt || ckpt->chain_id != xfer->chain_id) {
     ++rejected_;
     m_rejected_->inc();
+    ack(src, sport, *xfer, false, {});
     return;
   }
   // Datagrams can be duplicated or reordered; never step a chain backwards.
@@ -34,6 +62,7 @@ void StandbyAgent::on_packet(const Bytes& payload) {
       it != last_seq_.end() && ckpt->seq <= it->second) {
     ++rejected_;
     m_rejected_->inc();
+    ack(src, sport, *xfer, false, {});
     return;
   }
   Chain* chain = standby_->chain(ckpt->chain_id);
@@ -42,6 +71,7 @@ void StandbyAgent::on_packet(const Bytes& payload) {
   last_seq_[ckpt->chain_id] = ckpt->seq;
   ++applied_;
   m_applied_->inc();
+  ack(src, sport, *xfer, true, digest_of(xfer->checkpoint).to_bytes());
 }
 
 }  // namespace pvn

@@ -10,6 +10,13 @@
 //
 // Corrupted or replayed transfers are rejected whole: the checkpoint codec
 // is digest-protected and the agent drops any seq it has already applied.
+//
+// Robustness: every transfer is answered with a kStateAck carrying the
+// digest of the checkpoint bytes the agent actually applied (or a rejection
+// for corrupt/replayed ones). The server cross-checks the digest against
+// what it sent, so a Byzantine standby — one that discards state while
+// claiming to hold it — is detected and demoted. set_byzantine() turns the
+// agent into exactly that adversary for tests and benches.
 #pragma once
 
 #include "mbox/checkpoint.h"
@@ -34,8 +41,16 @@ class StandbyAgent {
   std::uint64_t checkpoints_rejected() const { return rejected_; }
   std::uint64_t bytes_received() const { return bytes_; }
 
+  // Adversary hook: the agent stops applying checkpoints but keeps acking
+  // them as applied — with the digest of state it does not hold. A server
+  // cross-checking StateAck digests demotes it within a few checkpoints.
+  void set_byzantine(bool lie) { byzantine_ = lie; }
+  bool byzantine() const { return byzantine_; }
+
  private:
-  void on_packet(const Bytes& payload);
+  void on_packet(Ipv4Addr src, Port sport, const Bytes& payload);
+  void ack(Ipv4Addr dst, Port dport, const StateTransfer& xfer, bool applied,
+           const Bytes& digest);
 
   Host* host_;
   MboxHost* standby_;
@@ -43,6 +58,7 @@ class StandbyAgent {
   std::uint64_t applied_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t bytes_ = 0;
+  bool byzantine_ = false;
   telemetry::Counter* m_applied_ = nullptr;
   telemetry::Counter* m_rejected_ = nullptr;
   telemetry::Counter* m_bytes_ = nullptr;

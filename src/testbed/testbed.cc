@@ -17,6 +17,11 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
   wan = &net.add_node<Router>("wan");
   if (cfg.standby) {
     standby_node = &net.add_node<Host>("standby", addrs.standby);
+    for (int i = 0; i < cfg.extra_standby_pools; ++i) {
+      extra_standby_nodes.push_back(&net.add_node<Host>(
+          "standby-" + std::to_string(i + 1),
+          Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(7 + i))));
+    }
   }
 
   // --- links ---
@@ -25,6 +30,9 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
   net.connect(*access_sw, *control, cfg.backhaul);              // sw p2
   if (cfg.standby) {
     net.connect(*access_sw, *standby_node, cfg.backhaul);       // sw p3
+    for (Host* node : extra_standby_nodes) {                    // sw p4+
+      net.connect(*access_sw, *node, cfg.backhaul);
+    }
   }
   net.connect(*wan, *web, cfg.server_link);      // wan p1
   net.connect(*wan, *video, cfg.server_link);    // wan p2
@@ -74,6 +82,14 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
       to_standby.cookie = "infra";
       to_standby.actions.push_back(ActOutput{3});
       access_sw->table(0).add(to_standby);
+      for (std::size_t i = 0; i < extra_standby_nodes.size(); ++i) {
+        FlowRule to_extra;
+        to_extra.priority = 1;
+        to_extra.match.dst = Prefix{extra_standby_nodes[i]->addr(), 32};
+        to_extra.cookie = "infra";
+        to_extra.actions.push_back(ActOutput{4 + static_cast<int>(i)});
+        access_sw->table(0).add(to_extra);
+      }
     }
   }
   // Tunnel encapsulation hook for ActTunnel (Fig. 1c), and the matching
@@ -128,11 +144,17 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
                            {addrs.video, milliseconds(90)}};
   store = std::make_unique<PvnStore>(make_standard_store(store_env));
 
-  mbox_host = std::make_unique<MboxHost>(net.sim());
+  mbox_host = std::make_unique<MboxHost>(net.sim(), cfg.mbox);
   if (cfg.standby) {
-    standby_mbox = std::make_unique<MboxHost>(net.sim());
+    standby_mbox = std::make_unique<MboxHost>(net.sim(), cfg.mbox);
     standby_agent =
         std::make_unique<StandbyAgent>(*standby_node, *standby_mbox);
+    for (Host* node : extra_standby_nodes) {
+      extra_standby_mboxes.push_back(
+          std::make_unique<MboxHost>(net.sim(), cfg.mbox));
+      extra_standby_agents.push_back(std::make_unique<StandbyAgent>(
+          *node, *extra_standby_mboxes.back()));
+    }
   }
   controller = std::make_unique<Controller>(net.sim());
   controller->manage(*access_sw);
@@ -145,10 +167,18 @@ Testbed::Testbed(TestbedConfig cfg) : net(cfg.seed), cfg_(cfg) {
   scfg.allowed_modules = cfg.allowed_modules;
   scfg.price_multiplier = cfg.price_multiplier;
   scfg.lease_duration = cfg.lease_duration;
+  scfg.max_pending_deploys = cfg.max_pending_deploys;
+  scfg.busy_retry_after = cfg.busy_retry_after;
+  scfg.max_expiries_per_sweep = cfg.max_expiries_per_sweep;
+  scfg.sweep_drain_interval = cfg.sweep_drain_interval;
   if (cfg.standby) {
     scfg.standby_host = standby_mbox.get();
     scfg.standby_addr = addrs.standby;
     scfg.checkpoint_interval = cfg.checkpoint_interval;
+    for (std::size_t i = 0; i < extra_standby_mboxes.size(); ++i) {
+      scfg.extra_standbys.push_back(
+          {extra_standby_mboxes[i].get(), extra_standby_nodes[i]->addr()});
+    }
   }
   server = std::make_unique<DeploymentServer>(*control, *store, *mbox_host,
                                               *controller, *ledger, scfg);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "audit/measurements.h"
 #include "audit/reputation.h"
@@ -46,6 +47,18 @@ struct TestbedConfig {
   // there and promotes it when the primary MboxHost crashes.
   bool standby = false;
   SimDuration checkpoint_interval = milliseconds(200);
+  // Byzantine-robustness: additional standby pools behind the switch
+  // (hosts 10.0.0.7+, switch ports p4+). Only meaningful with standby;
+  // the server demotes a lying pool and re-mirrors onto the next one.
+  int extra_standby_pools = 0;
+  // Middlebox pool parameters (memory budget / per-instance cost); applied
+  // to the primary pool and every standby pool alike.
+  MboxHostConfig mbox;
+  // Overload control (ServerConfig pass-throughs, see server.h).
+  std::size_t max_pending_deploys = 0;
+  SimDuration busy_retry_after = milliseconds(500);
+  std::size_t max_expiries_per_sweep = 0;
+  SimDuration sweep_drain_interval = milliseconds(10);
 
   TestbedConfig() {
     access.rate = Rate::mbps(50);
@@ -89,6 +102,8 @@ class Testbed {
   Router* wan = nullptr;
   Link* access_link = nullptr;
   Host* standby_node = nullptr;  // non-null when cfg.standby
+  // Extra pools (cfg.extra_standby_pools), parallel vectors by pool index.
+  std::vector<Host*> extra_standby_nodes;
 
   // --- access-network services ---
   std::unique_ptr<PvnStore> store;
@@ -97,6 +112,8 @@ class Testbed {
   // holds a raw pointer and a crash listener on it.
   std::unique_ptr<MboxHost> standby_mbox;
   std::unique_ptr<StandbyAgent> standby_agent;
+  std::vector<std::unique_ptr<MboxHost>> extra_standby_mboxes;
+  std::vector<std::unique_ptr<StandbyAgent>> extra_standby_agents;
   std::unique_ptr<Controller> controller;
   std::unique_ptr<Ledger> ledger;
   std::unique_ptr<DeploymentServer> server;

@@ -1,0 +1,440 @@
+// Adversarial-robustness layer end to end: offer vetting bounds, server-side
+// overload control (admission shedding + amortized lease sweep), the
+// memory-admission regression, fleet defenses against a rogue deployment
+// server (bogus offers, NAK floods, blackhole acks), and Byzantine standby
+// detection / demotion / re-mirroring.
+#include <gtest/gtest.h>
+
+#include "testbed/population.h"
+#include "testbed/testbed.h"
+
+namespace pvn {
+namespace {
+
+// --- vet_offer: sanity bounds ------------------------------------------------
+
+Offer sane_offer(SimTime now) {
+  Offer o;
+  o.deployment_server = Ipv4Addr(10, 0, 0, 5);
+  o.total_price = 1.5;
+  o.expires_at = now + seconds(30);
+  o.lease_duration = seconds(30);
+  o.capacity_bytes = 1 * kGiB;
+  return o;
+}
+
+TEST(VetOffer, SaneOfferPasses) {
+  const SimTime now = seconds(5);
+  EXPECT_EQ(vet_offer(sane_offer(now), 18 * kMiB, {}, now), OfferDefect::kNone);
+}
+
+TEST(VetOffer, NonFiniteOrNegativePrice) {
+  const SimTime now = 0;
+  Offer o = sane_offer(now);
+  o.total_price = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kPriceNotFinite);
+  o.total_price = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kPriceNotFinite);
+  o.total_price = -0.01;
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kPriceNotFinite);
+}
+
+TEST(VetOffer, AbsurdPrice) {
+  const SimTime now = 0;
+  Offer o = sane_offer(now);
+  OfferBounds bounds;
+  o.total_price = bounds.max_price * 2;
+  EXPECT_EQ(vet_offer(o, 0, bounds, now), OfferDefect::kPriceAbsurd);
+}
+
+TEST(VetOffer, ExpiryBounds) {
+  const SimTime now = seconds(100);
+  Offer o = sane_offer(now);
+  o.expires_at = now - 1;
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kExpired);
+  o.expires_at = now;  // an offer expiring "right now" is already dead
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kExpired);
+  OfferBounds bounds;
+  o.expires_at = now + bounds.max_offer_ttl + 1;
+  EXPECT_EQ(vet_offer(o, 0, bounds, now), OfferDefect::kExpiryTooFar);
+  // expires_at == 0 means "no expiry attached", not "expired at t=0".
+  o.expires_at = 0;
+  EXPECT_EQ(vet_offer(o, 0, bounds, now), OfferDefect::kNone);
+}
+
+TEST(VetOffer, LeaseBounds) {
+  const SimTime now = 0;
+  Offer o = sane_offer(now);
+  OfferBounds bounds;
+  // The rogue-server attack: a nonzero lease too short for any renewal
+  // cadence to sustain. Negotiation never looks at the lease; vetting must.
+  o.lease_duration = milliseconds(1);
+  EXPECT_EQ(vet_offer(o, 0, bounds, now), OfferDefect::kLeaseTooShort);
+  o.lease_duration = bounds.max_lease + 1;
+  EXPECT_EQ(vet_offer(o, 0, bounds, now), OfferDefect::kLeaseTooLong);
+  // 0 = deploy-forever, a legitimate (lease-free) server.
+  o.lease_duration = 0;
+  EXPECT_EQ(vet_offer(o, 0, bounds, now), OfferDefect::kNone);
+}
+
+TEST(VetOffer, CapacityBounds) {
+  const SimTime now = 0;
+  Offer o = sane_offer(now);
+  OfferBounds bounds;
+  o.capacity_bytes = -1;
+  EXPECT_EQ(vet_offer(o, 0, bounds, now), OfferDefect::kCapacityImplausible);
+  o.capacity_bytes = bounds.max_capacity_bytes + 1;
+  EXPECT_EQ(vet_offer(o, 0, bounds, now), OfferDefect::kCapacityImplausible);
+  // Insufficient capacity only rejects when the caller opted in: a full
+  // host is not misbehaving, and the NAK path covers it otherwise.
+  o.capacity_bytes = 6 * kMiB;
+  EXPECT_EQ(vet_offer(o, 18 * kMiB, bounds, now), OfferDefect::kNone);
+  bounds.require_capacity = true;
+  EXPECT_EQ(vet_offer(o, 18 * kMiB, bounds, now),
+            OfferDefect::kInsufficientCapacity);
+  o.capacity_bytes = 18 * kMiB;
+  EXPECT_EQ(vet_offer(o, 18 * kMiB, bounds, now), OfferDefect::kNone);
+}
+
+TEST(VetOffer, DefectPrecedenceIsMostFundamentalFirst) {
+  // An offer broken in several ways reports the structural defect first.
+  const SimTime now = seconds(100);
+  Offer o = sane_offer(now);
+  o.total_price = -1.0;
+  o.expires_at = now - 1;
+  o.lease_duration = milliseconds(1);
+  o.capacity_bytes = -5;
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kPriceNotFinite);
+  o.total_price = 1.0;
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kExpired);
+  o.expires_at = now + seconds(30);
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kLeaseTooShort);
+  o.lease_duration = seconds(30);
+  EXPECT_EQ(vet_offer(o, 0, {}, now), OfferDefect::kCapacityImplausible);
+}
+
+// --- Overload control: admission shedding ------------------------------------
+
+TEST(Overload, FlashCrowdIsShedWithExplicitBusyNacks) {
+  PopulationConfig cfg;
+  cfg.clients = 4;
+  cfg.max_pending_deploys = 1;
+  PopulationTestbed tb(cfg);
+  tb.make_agents();
+
+  // All four devices fire their one-shot deploy at once; the server admits
+  // one at a time and sheds the burst with typed kBusy NAKs instead of
+  // letting requests queue (or time out) silently.
+  std::vector<DeployOutcome> outcomes(tb.agents.size());
+  for (std::size_t i = 0; i < tb.agents.size(); ++i) {
+    tb.agents[i]->discover_and_deploy(
+        tb.addrs.control_a, [&outcomes, i](const DeployOutcome& o) {
+          outcomes[i] = o;
+        });
+  }
+  tb.net.sim().run_until(seconds(10));
+
+  int ok = 0, busy = 0;
+  for (const DeployOutcome& o : outcomes) {
+    if (o.ok) {
+      ++ok;
+    } else if (o.nack_code == NackCode::kBusy) {
+      ++busy;
+      // The shed carries the server's retry-after hint verbatim.
+      EXPECT_EQ(o.retry_after, milliseconds(500));
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(busy, 1);
+  EXPECT_EQ(ok + busy, static_cast<int>(outcomes.size()));
+  EXPECT_GE(tb.a.server->deploys_shed(), 1u);
+  EXPECT_LE(tb.a.server->pending_deploys(), 1u);
+}
+
+TEST(Overload, SessionModeHonorsRetryAfterAndConverges) {
+  PopulationConfig cfg;
+  cfg.clients = 4;
+  cfg.max_pending_deploys = 1;
+  PopulationTestbed tb(cfg);
+  tb.make_agents();
+
+  for (auto& agent : tb.agents) agent->start_session(tb.addrs.control_a);
+  tb.net.sim().run_until(seconds(15));
+
+  // Every shed client backed off by the server's hint and redeployed; the
+  // storm serializes instead of failing.
+  EXPECT_EQ(tb.active_agents(), 4);
+  EXPECT_EQ(tb.a.server->deployments_active(), 4u);
+  EXPECT_GE(tb.a.server->deploys_shed(), 1u);
+  std::uint64_t busy_nacks = 0;
+  for (const auto& agent : tb.agents) busy_nacks += agent->busy_nacks();
+  EXPECT_GE(busy_nacks, 1u);
+}
+
+// --- Overload control: memory admission (regression) -------------------------
+
+TEST(Overload, MemoryAdmissionUsesTheHostsRealInstanceCost) {
+  // Regression: admission used to price the chain at the PVNC's own
+  // estimate (the default 6 MiB/instance), so on a host configured with
+  // heavier instances an inadmissible chain passed the check, failed
+  // mid-instantiation, and could strand partial allocations.
+  TestbedConfig cfg;
+  cfg.mbox.memory_per_instance = 8 * kMiB;
+  cfg.mbox.memory_budget = 20 * kMiB;
+  Testbed tb(cfg);
+
+  Pvnc three;
+  three.name = "dev-3mod";
+  three.chain.push_back(PvncModule{"tls-validator", {{"mode", "block"}}});
+  three.chain.push_back(PvncModule{"dns-validator", {{"mode", "block"}}});
+  three.chain.push_back(PvncModule{"pii-detector", {{"action", "block"}}});
+
+  // Estimated cost 3 x 6 = 18 MiB (under budget); real cost 3 x 8 = 24 MiB.
+  const DeployOutcome refused = tb.deploy(three);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.nack_code, NackCode::kOutOfMemory);
+  // Refused up-front: nothing was instantiated, nothing leaked.
+  EXPECT_EQ(tb.mbox_host->memory_in_use(), 0);
+  EXPECT_EQ(tb.server->deployments_active(), 0u);
+
+  // A chain that genuinely fits (2 x 8 = 16 MiB) still deploys.
+  Pvnc two;
+  two.name = "dev-2mod";
+  two.chain.push_back(PvncModule{"tls-validator", {{"mode", "block"}}});
+  two.chain.push_back(PvncModule{"dns-validator", {{"mode", "block"}}});
+  const DeployOutcome accepted = tb.deploy(two);
+  EXPECT_TRUE(accepted.ok);
+  EXPECT_EQ(tb.mbox_host->memory_in_use(), 16 * kMiB);
+}
+
+// --- Overload control: amortized lease sweep ---------------------------------
+
+TEST(Overload, MassLeaseExpiryDrainsInBoundedBatches) {
+  PopulationConfig cfg;
+  cfg.clients = 24;
+  cfg.lease_duration = seconds(1);
+  cfg.max_expiries_per_sweep = 4;
+  PopulationTestbed tb(cfg);
+  tb.make_agents();
+
+  // One-shot deploys: nobody renews, so all 24 leases expire together.
+  for (auto& agent : tb.agents) {
+    agent->discover_and_deploy(tb.addrs.control_a, nullptr);
+  }
+  tb.net.sim().run_until(seconds(1));
+  ASSERT_EQ(tb.a.server->deployments_active(), 24u);
+
+  tb.net.sim().run_until(seconds(6));
+  // Everything was reclaimed, but never more than the batch cap in one
+  // tick: the mass expiry amortizes across drain ticks instead of
+  // monopolizing the event loop.
+  EXPECT_EQ(tb.a.server->leases_expired(), 24u);
+  EXPECT_EQ(tb.a.server->deployments_active(), 0u);
+  EXPECT_LE(tb.a.server->max_swept_per_tick(), 4u);
+  EXPECT_GE(tb.a.server->sweep_ticks(), 6u);
+  // The reclaimed memory really came back.
+  EXPECT_EQ(tb.a.mbox->memory_in_use(), 0);
+}
+
+// --- Rogue server: bogus offers ----------------------------------------------
+
+TEST(RogueServer, BogusOffersAreVettedOutAndTheSenderQuarantined) {
+  PopulationConfig cfg;
+  cfg.clients = 6;
+  cfg.rogue = true;
+  cfg.rogue_mode = RogueMode::kBogusOffers;
+  PopulationTestbed tb(cfg);
+
+  ClientConfig base;
+  base.extra_servers = {tb.addrs.rogue};  // the rogue joins every auction
+  tb.make_agents(base, /*shared_scoreboard=*/true);
+  for (auto& agent : tb.agents) agent->start_session(tb.addrs.control_a);
+  tb.net.sim().run_until(seconds(2));
+
+  // The rogue undercut every honest quote, but its 1 ms lease failed
+  // vetting: nobody deployed to it, everyone landed on the honest network.
+  EXPECT_EQ(tb.active_agents(), 6);
+  EXPECT_EQ(tb.a.server->deployments_active(), 6u);
+  EXPECT_GT(tb.rogue->offers_sent(), 0u);
+  EXPECT_EQ(tb.rogue->fake_acks(), 0u);
+  std::uint64_t rejected = 0;
+  for (const auto& agent : tb.agents) rejected += agent->offers_rejected();
+  EXPECT_GE(rejected, 6u);
+  // The fleet-shared scoreboard pooled the reports and quarantined the
+  // rogue for everyone.
+  EXPECT_GE(tb.scoreboard.violations(Misbehavior::kBogusOffer), 3u);
+  EXPECT_TRUE(
+      tb.scoreboard.quarantined(tb.addrs.rogue.to_string(), tb.net.sim().now()));
+}
+
+TEST(RogueServer, UnvettedClientsFallForTheBogusOffer) {
+  // The control experiment: with vetting off and no scoreboard, the rogue's
+  // undercut price wins the auction and devices deploy into a fake ack.
+  PopulationConfig cfg;
+  cfg.clients = 2;
+  cfg.rogue = true;
+  cfg.rogue_mode = RogueMode::kBogusOffers;
+  PopulationTestbed tb(cfg);
+
+  ClientConfig base;
+  base.extra_servers = {tb.addrs.rogue};
+  base.vet_offers = false;
+  tb.make_agents(base);
+
+  std::vector<DeployOutcome> outcomes(tb.agents.size());
+  for (std::size_t i = 0; i < tb.agents.size(); ++i) {
+    tb.agents[i]->discover_and_deploy(
+        tb.addrs.control_a, [&outcomes, i](const DeployOutcome& o) {
+          outcomes[i] = o;
+        });
+  }
+  tb.net.sim().run_until(seconds(5));
+
+  EXPECT_GT(tb.rogue->fake_acks(), 0u);
+  for (const DeployOutcome& o : outcomes) {
+    ASSERT_TRUE(o.ok);
+    EXPECT_EQ(o.chain_id.rfind("rogue:", 0), 0u) << o.chain_id;
+  }
+  EXPECT_EQ(tb.a.server->deployments_active(), 0u);
+}
+
+// --- Rogue server: NAK flood -------------------------------------------------
+
+TEST(RogueServer, NakFloodTripsTheBreakerAndTheFleetConverges) {
+  PopulationConfig cfg;
+  cfg.clients = 4;
+  cfg.rogue = true;
+  cfg.rogue_mode = RogueMode::kNakFlood;
+  PopulationTestbed tb(cfg);
+
+  ClientConfig base;
+  base.extra_servers = {tb.addrs.rogue};
+  base.use_breaker = true;
+  tb.make_agents(base, /*shared_scoreboard=*/true);
+  for (auto& agent : tb.agents) agent->start_session(tb.addrs.control_a);
+  tb.net.sim().run_until(seconds(40));
+
+  // The rogue's offers looked sane, so clients deployed into its kBusy
+  // wall and honored the (long) retry-after; the circuit breaker and the
+  // NAK-flood reputation reports cut it out of the auction, and everyone
+  // converged on the honest network.
+  EXPECT_GT(tb.rogue->naks_sent(), 0u);
+  EXPECT_EQ(tb.active_agents(), 4);
+  EXPECT_EQ(tb.a.server->deployments_active(), 4u);
+  std::uint64_t busy = 0;
+  for (const auto& agent : tb.agents) busy += agent->busy_nacks();
+  EXPECT_GE(busy, 3u);
+  EXPECT_GE(tb.scoreboard.violations(Misbehavior::kNakFlood), 1u);
+}
+
+// --- Rogue server: blackhole acks --------------------------------------------
+
+TEST(RogueServer, BlackholeAcksAreCaughtByTheLeaseHeartbeat) {
+  PopulationConfig cfg;
+  cfg.clients = 4;
+  cfg.rogue = true;
+  cfg.rogue_mode = RogueMode::kBlackhole;
+  PopulationTestbed tb(cfg);
+
+  ClientConfig base;
+  base.extra_servers = {tb.addrs.rogue};
+  tb.make_agents(base, /*shared_scoreboard=*/true);
+  for (auto& agent : tb.agents) agent->start_session(tb.addrs.control_a);
+  tb.net.sim().run_until(seconds(60));
+
+  // The blackhole passed vetting and won the auction with a fake ack; the
+  // unanswered renewals are what exposed it. Each victim reported an audit
+  // failure against it, the shared scoreboard quarantined it, and the next
+  // rediscovery round landed everyone on the honest network.
+  EXPECT_GE(tb.rogue->fake_acks(), 1u);
+  EXPECT_GE(tb.scoreboard.violations(Misbehavior::kAuditFailure), 2u);
+  EXPECT_EQ(tb.active_agents(), 4);
+  EXPECT_EQ(tb.a.server->deployments_active(), 4u);
+  std::uint64_t failovers = 0;
+  for (const auto& agent : tb.agents) failovers += agent->failovers();
+  EXPECT_GE(failovers, 1u);
+}
+
+// --- Byzantine standby -------------------------------------------------------
+
+Pvnc stateful_pvnc() {
+  Pvnc pvnc;
+  pvnc.name = "alice-phone";
+  pvnc.chain.push_back(PvncModule{"tls-validator", {{"mode", "block"}}});
+  pvnc.chain.push_back(PvncModule{"classifier", {}});
+  pvnc.chain.push_back(PvncModule{"tracker-blocker", {}});
+  return pvnc;
+}
+
+TEST(Byzantine, LyingStandbyIsDemotedAndDeploymentsRemirror) {
+  TestbedConfig cfg;
+  cfg.standby = true;
+  cfg.extra_standby_pools = 1;
+  cfg.lease_duration = seconds(2);
+  cfg.checkpoint_interval = milliseconds(100);
+  Testbed tb(cfg);
+  // Pool 0's agent acks every checkpoint with a forged digest.
+  tb.standby_agent->set_byzantine(true);
+
+  ClientConfig ccfg;
+  ccfg.constraints.required_modules = {"tls-validator"};
+  PvnClient agent(*tb.client, stateful_pvnc(), ccfg);
+  agent.set_fallback(tb.device_tunnel.get());
+  agent.start_session(tb.addrs.control);
+  tb.net.sim().run_until(seconds(2));
+
+  // The digest cross-check caught the liar within a few checkpoints and
+  // re-mirrored the deployment onto the honest pool — while the active
+  // session never noticed.
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_GE(tb.server->bad_state_acks(), 3u);
+  EXPECT_EQ(tb.server->standbys_demoted(), 1u);
+  EXPECT_GE(tb.server->standbys_remirrored(), 1u);
+  EXPECT_GE(tb.server->standbys_ready(), 2u);  // pool 0, then pool 1
+  EXPECT_EQ(agent.failovers(), 0u);
+  // The warm copy now lives on the honest pool, not the liar.
+  EXPECT_NE(tb.extra_standby_mboxes[0]->chain(agent.chain_id()), nullptr);
+
+  // Once demoted, the pool stays demoted: bad acks stop accruing actions.
+  const std::uint64_t demotions = tb.server->standbys_demoted();
+  tb.net.sim().run_until(seconds(3));
+  EXPECT_EQ(tb.server->standbys_demoted(), demotions);
+
+  // Crash the primary: promotion comes from the honest pool and the
+  // session survives end to end.
+  tb.net.sim().schedule_at(seconds(3), [&] { tb.mbox_host->crash(); });
+  tb.net.sim().run_until(seconds(4));
+  EXPECT_EQ(tb.server->standby_promotions(), 1u);
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_EQ(agent.failovers(), 0u);
+  EXPECT_EQ(tb.server->chains_lost(), 0u);
+
+  // Renewals keep landing on the promoted deployment.
+  const std::uint64_t acked = agent.renews_acked();
+  tb.net.sim().run_until(seconds(8));
+  EXPECT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_GT(agent.renews_acked(), acked);
+}
+
+TEST(Byzantine, HonestStandbysAreNeverDemoted) {
+  TestbedConfig cfg;
+  cfg.standby = true;
+  cfg.lease_duration = seconds(2);
+  cfg.checkpoint_interval = milliseconds(100);
+  Testbed tb(cfg);
+
+  ClientConfig ccfg;
+  PvnClient agent(*tb.client, stateful_pvnc(), ccfg);
+  agent.start_session(tb.addrs.control);
+  tb.net.sim().run_until(seconds(3));
+
+  ASSERT_EQ(agent.state(), SessionState::kActive);
+  EXPECT_GT(tb.server->checkpoints_streamed(), 0u);
+  EXPECT_EQ(tb.server->bad_state_acks(), 0u);
+  EXPECT_EQ(tb.server->standbys_demoted(), 0u);
+}
+
+}  // namespace
+}  // namespace pvn
+
+

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "mbox/checkpoint.h"
 #include "mbox/inline_modules.h"
@@ -104,11 +105,17 @@ TEST_P(DiscoveryProperty, AllMessageTypesRoundTrip) {
     offer.offered_modules = dm.modules;
     offer.total_price = rng.uniform(0, 100);
     offer.expires_at = static_cast<SimTime>(rng.next_below(1'000'000'000));
+    offer.standby_capacity = rng.bernoulli(0.5);
+    offer.lease_duration = static_cast<SimDuration>(rng.next_below(kSecond * 60));
+    offer.capacity_bytes = static_cast<std::int64_t>(rng.next_below(1LL << 40));
     const auto offer2 = Offer::decode(offer.encode());
     ASSERT_TRUE(offer2.has_value());
     EXPECT_EQ(offer2->deployment_server, offer.deployment_server);
     EXPECT_DOUBLE_EQ(offer2->total_price, offer.total_price);
     EXPECT_EQ(offer2->expires_at, offer.expires_at);
+    EXPECT_EQ(offer2->standby_capacity, offer.standby_capacity);
+    EXPECT_EQ(offer2->lease_duration, offer.lease_duration);
+    EXPECT_EQ(offer2->capacity_bytes, offer.capacity_bytes);
 
     DeployAck ack;
     ack.seq = dm.seq;
@@ -120,10 +127,90 @@ TEST_P(DiscoveryProperty, AllMessageTypesRoundTrip) {
     DeployNack nack;
     nack.seq = dm.seq;
     nack.reason = random_name(rng);
+    nack.code = static_cast<NackCode>(rng.next_below(7));
+    nack.retry_after = static_cast<SimDuration>(rng.next_below(kSecond * 10));
     const auto nack2 = DeployNack::decode(nack.encode());
     ASSERT_TRUE(nack2.has_value());
     EXPECT_EQ(nack2->reason, nack.reason);
+    EXPECT_EQ(nack2->code, nack.code);
+    EXPECT_EQ(nack2->retry_after, nack.retry_after);
+
+    StateAck sack;
+    sack.seq = dm.seq;
+    sack.device_id = dm.device_id;
+    sack.chain_id = "chain:" + random_name(rng);
+    sack.applied = rng.bernoulli(0.5);
+    sack.digest.resize(rng.next_below(40));
+    for (auto& b : sack.digest) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto sack2 = StateAck::decode(sack.encode());
+    ASSERT_TRUE(sack2.has_value());
+    EXPECT_EQ(sack2->device_id, sack.device_id);
+    EXPECT_EQ(sack2->chain_id, sack.chain_id);
+    EXPECT_EQ(sack2->applied, sack.applied);
+    EXPECT_EQ(sack2->digest, sack.digest);
   }
+}
+
+TEST_P(DiscoveryProperty, DecodersRejectValuesNoHonestEncoderProduces) {
+  // Structural hardening (distinct from vet_offer's semantic bounds): field
+  // values that cannot come from an honest encoder — non-finite prices,
+  // negative durations, out-of-range enum codes — are refused at decode so
+  // they never reach protocol logic at all.
+  Offer offer;
+  offer.seq = 1;
+  offer.total_price = 2.0;
+  offer.expires_at = seconds(30);
+  offer.lease_duration = seconds(10);
+  ASSERT_TRUE(Offer::decode(offer.encode()).has_value());
+
+  Offer bad = offer;
+  bad.total_price = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(Offer::decode(bad.encode()).has_value());
+  bad.total_price = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(Offer::decode(bad.encode()).has_value());
+
+  bad = offer;
+  bad.expires_at = -1;
+  EXPECT_FALSE(Offer::decode(bad.encode()).has_value());
+
+  bad = offer;
+  bad.lease_duration = -seconds(1);
+  EXPECT_FALSE(Offer::decode(bad.encode()).has_value());
+
+  DeployNack nack;
+  nack.seq = 1;
+  nack.reason = "busy";
+  nack.code = NackCode::kBusy;
+  nack.retry_after = milliseconds(500);
+  ASSERT_TRUE(DeployNack::decode(nack.encode()).has_value());
+
+  DeployNack bad_nack = nack;
+  bad_nack.retry_after = -1;
+  EXPECT_FALSE(DeployNack::decode(bad_nack.encode()).has_value());
+
+  // Unknown NackCode values have to be hand-assembled — the enum itself
+  // cannot hold them, which is exactly why the decoder must bound-check.
+  for (const std::uint8_t code : {7, 42, 255}) {
+    ByteWriter w;
+    w.u32(1);
+    w.str("busy");
+    w.u8(code);
+    w.i64(milliseconds(500));
+    EXPECT_FALSE(DeployNack::decode(std::move(w).take()).has_value())
+        << "code " << static_cast<int>(code);
+  }
+
+  DeployAck ack;
+  ack.seq = 1;
+  ack.chain_id = "chain:x:0";
+  ack.lease_duration = -seconds(1);
+  EXPECT_FALSE(DeployAck::decode(ack.encode()).has_value());
+
+  LeaseAck lack;
+  lack.seq = 1;
+  lack.ok = true;
+  lack.lease_duration = -1;
+  EXPECT_FALSE(LeaseAck::decode(lack.encode()).has_value());
 }
 
 TEST_P(DiscoveryProperty, TruncationNeverCrashes) {
@@ -161,6 +248,8 @@ TEST_P(DiscoveryProperty, RandomBytesNeverCrashDecoders) {
     (void)LeaseAck::decode(junk);
     (void)StateRequest::decode(junk);
     (void)StateTransfer::decode(junk);
+    (void)StateAck::decode(junk);
+    (void)Teardown::decode(junk);
     (void)ChainCheckpoint::decode(junk);
     (void)DnsMessage::decode(junk);
     (void)DhcpMessage::decode(junk);
@@ -245,6 +334,13 @@ TEST_P(DiscoveryProperty, MutatedValidEncodingsNeverCrashDecoders) {
   xfer.ok = true;
   xfer.checkpoint = capture_chain(ck_chain, 1, 0).encode();
 
+  StateAck sack;
+  sack.seq = 11;
+  sack.device_id = dm.device_id;
+  sack.chain_id = ack.chain_id;
+  sack.applied = true;
+  sack.digest = {0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04};
+
   const std::vector<Bytes> corpus = {
       wrap(PvnMsgType::kDiscovery, dm.encode()),
       wrap(PvnMsgType::kOffer, offer.encode()),
@@ -255,6 +351,7 @@ TEST_P(DiscoveryProperty, MutatedValidEncodingsNeverCrashDecoders) {
       wrap(PvnMsgType::kLeaseAck, lack.encode()),
       wrap(PvnMsgType::kStateRequest, sreq.encode()),
       wrap(PvnMsgType::kStateTransfer, xfer.encode()),
+      wrap(PvnMsgType::kStateAck, sack.encode()),
   };
 
   const auto decode_as = [](PvnMsgType type, const Bytes& body) {
@@ -275,6 +372,7 @@ TEST_P(DiscoveryProperty, MutatedValidEncodingsNeverCrashDecoders) {
         }
         break;
       }
+      case PvnMsgType::kStateAck: (void)StateAck::decode(body); break;
       default: break;
     }
   };

@@ -1,0 +1,217 @@
+// Adversarial-hardening reputation layer: typed misbehavior accrual,
+// decay-based rehabilitation, hysteretic quarantine, the circuit breaker's
+// state machine, and the legacy ReputationSystem it coexists with.
+#include <gtest/gtest.h>
+
+#include "audit/reputation.h"
+
+namespace pvn {
+namespace {
+
+// --- HostScoreboard: accrual -----------------------------------------------
+
+TEST(HostScoreboard, UnknownHostsStartFullyTrusted) {
+  HostScoreboard board;
+  EXPECT_DOUBLE_EQ(board.score("10.0.0.5", 0), 1.0);
+  EXPECT_FALSE(board.quarantined("10.0.0.5", 0));
+  EXPECT_EQ(board.violations(), 0u);
+}
+
+TEST(HostScoreboard, ReportMultipliesScoreByClassWeight) {
+  HostScoreboard board;
+  board.report("h", Misbehavior::kBogusOffer, 0);
+  EXPECT_NEAR(board.score("h", 0),
+              1.0 - misbehavior_weight(Misbehavior::kBogusOffer), 1e-12);
+  // A second report compounds multiplicatively, not additively.
+  board.report("h", Misbehavior::kBogusOffer, 0);
+  const double w = misbehavior_weight(Misbehavior::kBogusOffer);
+  EXPECT_NEAR(board.score("h", 0), (1.0 - w) * (1.0 - w), 1e-12);
+}
+
+TEST(HostScoreboard, SeverityOrderingAcrossClasses) {
+  // Proof-grade misbehavior (corrupt checkpoint) must cost more than weak
+  // circumstantial evidence (deploy timeout).
+  EXPECT_GT(misbehavior_weight(Misbehavior::kCorruptCheckpoint),
+            misbehavior_weight(Misbehavior::kDeployTimeout));
+  EXPECT_GT(misbehavior_weight(Misbehavior::kAuditFailure),
+            misbehavior_weight(Misbehavior::kNakFlood));
+  for (std::size_t i = 0; i < kMisbehaviorCount; ++i) {
+    const double w = misbehavior_weight(static_cast<Misbehavior>(i));
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(HostScoreboard, PerClassViolationCounters) {
+  HostScoreboard board;
+  board.report("h", Misbehavior::kBogusOffer, 0);
+  board.report("h", Misbehavior::kBogusOffer, 0);
+  board.report("h", Misbehavior::kNakFlood, 0);
+  EXPECT_EQ(board.violations(), 3u);
+  EXPECT_EQ(board.violations(Misbehavior::kBogusOffer), 2u);
+  EXPECT_EQ(board.violations(Misbehavior::kNakFlood), 1u);
+  EXPECT_EQ(board.violations(Misbehavior::kCorruptCheckpoint), 0u);
+}
+
+TEST(HostScoreboard, HostsAreIndependent) {
+  HostScoreboard board;
+  board.report("bad", Misbehavior::kAuditFailure, 0);
+  EXPECT_LT(board.score("bad", 0), 1.0);
+  EXPECT_DOUBLE_EQ(board.score("good", 0), 1.0);
+}
+
+// --- HostScoreboard: decay-based rehabilitation ----------------------------
+
+TEST(HostScoreboard, DistrustHalvesPerHalfLife) {
+  HostScoreboardConfig cfg;
+  cfg.rehab_half_life = seconds(60);
+  HostScoreboard board(cfg);
+  board.report("h", Misbehavior::kAuditFailure, 0);  // distrust 0.5
+  EXPECT_NEAR(board.score("h", 0), 0.5, 1e-12);
+  EXPECT_NEAR(board.score("h", seconds(60)), 0.75, 1e-9);
+  EXPECT_NEAR(board.score("h", seconds(120)), 0.875, 1e-9);
+}
+
+TEST(HostScoreboard, SuccessReportsAddLinearRecovery) {
+  HostScoreboardConfig cfg;
+  cfg.rehab_half_life = seconds(1'000'000);  // isolate the linear term
+  cfg.success_recovery = 0.1;
+  HostScoreboard board(cfg);
+  board.report("h", Misbehavior::kAuditFailure, 0);  // score 0.5
+  board.report_success("h", 0);
+  EXPECT_NEAR(board.score("h", 0), 0.6, 1e-9);
+  // Recovery saturates at full trust, never overshoots.
+  for (int i = 0; i < 20; ++i) board.report_success("h", 0);
+  EXPECT_DOUBLE_EQ(board.score("h", 0), 1.0);
+}
+
+// --- HostScoreboard: hysteretic quarantine ---------------------------------
+
+TEST(HostScoreboard, QuarantineEntersBelowLowWaterMark) {
+  HostScoreboard board;  // enter < 0.35, exit > 0.65
+  // kAuditFailure (0.5): one report -> score 0.5, still above 0.35.
+  board.report("h", Misbehavior::kAuditFailure, 0);
+  EXPECT_FALSE(board.quarantined("h", 0));
+  // Second report -> 0.25 < 0.35: quarantined.
+  board.report("h", Misbehavior::kAuditFailure, 0);
+  EXPECT_TRUE(board.quarantined("h", 0));
+  EXPECT_EQ(board.quarantine_enters(), 1u);
+}
+
+TEST(HostScoreboard, HysteresisHoldsQuarantineBetweenMarks) {
+  HostScoreboardConfig cfg;
+  cfg.rehab_half_life = seconds(60);
+  HostScoreboard board(cfg);
+  board.report("h", Misbehavior::kAuditFailure, 0);
+  board.report("h", Misbehavior::kAuditFailure, 0);  // score 0.25
+  ASSERT_TRUE(board.quarantined("h", 0));
+  // One half-life: score 0.625 — above the entry mark but below the exit
+  // mark, so the host stays latched in quarantine (no flapping).
+  EXPECT_GT(board.score("h", seconds(60)), 0.35);
+  EXPECT_LT(board.score("h", seconds(60)), 0.65);
+  EXPECT_TRUE(board.quarantined("h", seconds(60)));
+  // Two half-lives: 0.8125 > 0.65 — rehabilitated.
+  EXPECT_FALSE(board.quarantined("h", seconds(120)));
+  EXPECT_EQ(board.quarantine_exits(), 1u);
+}
+
+TEST(HostScoreboard, RehabilitatedHostCanRequarantine) {
+  HostScoreboardConfig cfg;
+  cfg.rehab_half_life = seconds(60);
+  HostScoreboard board(cfg);
+  board.report("h", Misbehavior::kAuditFailure, 0);
+  board.report("h", Misbehavior::kAuditFailure, 0);
+  ASSERT_TRUE(board.quarantined("h", 0));
+  ASSERT_FALSE(board.quarantined("h", seconds(120)));
+  // Relapse.
+  board.report("h", Misbehavior::kAuditFailure, seconds(120));
+  board.report("h", Misbehavior::kAuditFailure, seconds(120));
+  EXPECT_TRUE(board.quarantined("h", seconds(120)));
+  EXPECT_EQ(board.quarantine_enters(), 2u);
+}
+
+// --- CircuitBreaker --------------------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_for = seconds(10);
+  CircuitBreaker b(cfg);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  b.record_failure(0);
+  b.record_failure(0);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.allow(0));
+  b.record_failure(0);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.allow(seconds(5)));
+  EXPECT_GE(b.rejected(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  CircuitBreaker b(cfg);
+  b.record_failure(0);
+  b.record_failure(0);
+  b.record_success();
+  b.record_failure(0);
+  b.record_failure(0);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);  // streak broken, never opened
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_for = seconds(10);
+  CircuitBreaker b(cfg);
+  b.record_failure(0);
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  // Cool-down elapsed: the first attempt becomes the half-open probe, the
+  // second is held until the probe resolves.
+  EXPECT_TRUE(b.allow(seconds(10)));
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(b.allow(seconds(10)));
+  // Probe succeeds: closed again.
+  b.record_success();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.allow(seconds(10)));
+}
+
+TEST(CircuitBreaker, FailedProbeReopens) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_for = seconds(10);
+  CircuitBreaker b(cfg);
+  b.record_failure(0);
+  ASSERT_TRUE(b.allow(seconds(10)));  // half-open probe
+  b.record_failure(seconds(10));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.allow(seconds(15)));
+  // And the cool-down restarts from the failed probe.
+  EXPECT_TRUE(b.allow(seconds(20)));
+}
+
+TEST(CircuitBreaker, NonPositiveThresholdDisablesTripping) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 0;
+  CircuitBreaker b(cfg);
+  for (int i = 0; i < 100; ++i) b.record_failure(0);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.allow(0));
+}
+
+// --- Legacy ReputationSystem stays as-was ----------------------------------
+
+TEST(ReputationSystem, ViolationAndRecoveryUnchanged) {
+  ReputationSystem rep(0.3);
+  EXPECT_DOUBLE_EQ(rep.score("p"), 1.0);
+  rep.report_violation("p", 0.5);
+  EXPECT_DOUBLE_EQ(rep.score("p"), 0.5);
+  rep.report_violation("p", 0.5);
+  EXPECT_TRUE(rep.blacklisted("p"));
+  EXPECT_EQ(rep.pick_provider({"p", "q"}), "q");
+}
+
+}  // namespace
+}  // namespace pvn
